@@ -1,0 +1,50 @@
+"""Figures 1-4 — architecture and floorplan diagrams.
+
+The paper's figures are structural drawings; the reproduction renders them
+from the live system models, so the diagrams always match the code's
+actual topology, and records them next to the table outputs.
+"""
+
+from repro.bitstream.busmacro import BusMacro, MacroKind
+from repro.core.floorplan import (
+    render_bus_macro,
+    render_generic_architecture,
+    render_system_floorplan,
+)
+
+
+def test_fig1_generic_architecture(benchmark, save_table):
+    art = benchmark.pedantic(render_generic_architecture, rounds=1, iterations=1)
+    save_table("fig1_generic_architecture", art)
+    for unit in ("CPU", "memory interface", "configuration", "external comm", "dynamic"):
+        assert unit in art
+
+
+def test_fig2_lut_bus_macros(benchmark, save_table):
+    macro = BusMacro("figure2", MacroKind.LUT, width=2)
+    art = benchmark.pedantic(lambda: render_bus_macro(macro), rounds=1, iterations=1)
+    save_table("fig2_bus_macros", art)
+    # The figure's signals: In(0)/In(1) leave A, Out(0)/Out(1) enter B.
+    assert "In(0)" in art and "In(1)" in art
+    assert "Out(0)" in art and "Out(1)" in art
+    assert "designed separately" in art
+
+
+def test_fig3_system32_floorplan(benchmark, rig32, save_table):
+    system, _ = rig32
+    art = benchmark.pedantic(lambda: render_system_floorplan(system), rounds=1, iterations=1)
+    save_table("fig3_system32_floorplan", art)
+    assert "XC2VP7" in art
+    assert "CPU 200 MHz" in art
+    assert "OpbDock" in art
+    assert "DYNAMIC AREA 28x11" in art
+
+
+def test_fig4_system64_floorplan(benchmark, rig64, save_table):
+    system, _ = rig64
+    art = benchmark.pedantic(lambda: render_system_floorplan(system), rounds=1, iterations=1)
+    save_table("fig4_system64_floorplan", art)
+    assert "XC2VP30" in art
+    assert "CPU 300 MHz" in art
+    assert "PlbDock" in art
+    assert "DYNAMIC AREA 32x24" in art

@@ -1,0 +1,80 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_tableXX_*.py`` regenerates one table of the paper; the
+``benchmark`` fixture wraps the simulation run (so pytest-benchmark reports
+host wall-clock), while the *simulated* numbers are printed as a
+paper-style table and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import build_system32, build_system64
+from repro.core.reconfig import ReconfigManager
+from repro.kernels import (
+    BlendKernel,
+    BrightnessKernel,
+    FadeKernel,
+    JenkinsHashKernel,
+    PatternMatchKernel,
+    Sha1Kernel,
+)
+from repro.workloads import binary_pattern
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Image-task constants shared across table benches.
+BRIGHTNESS_CONSTANT = 48
+FADE_FACTOR = 0.5
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    def _save(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+@pytest.fixture
+def pattern():
+    return binary_pattern(seed=2006)
+
+
+def _register_all(system, pattern):
+    manager = ReconfigManager(system)
+    manager.register(PatternMatchKernel(pattern))
+    manager.register(JenkinsHashKernel())
+    manager.register(BrightnessKernel(BRIGHTNESS_CONSTANT))
+    manager.register(BlendKernel())
+    manager.register(FadeKernel(FADE_FACTOR))
+    try:
+        manager.register(Sha1Kernel())
+    except Exception:
+        pass  # does not fit the 32-bit region — the paper's point
+    return manager
+
+
+@pytest.fixture
+def rig32(pattern):
+    system = build_system32()
+    return system, _register_all(system, pattern)
+
+
+@pytest.fixture
+def rig64(pattern):
+    system = build_system64()
+    return system, _register_all(system, pattern)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Transfer-method study on the 64-bit system (the heart of section 4).
+
+The PPC405 cannot issue 64-bit loads/stores, so programmed I/O never uses
+the PLB's full width; only DMA through the PLB Dock's scatter-gather
+engine and output FIFO does.  This example sweeps sequence lengths over
+both methods and shows where each stands — including the block-interleaved
+mode whose write stream pauses whenever the 2047-entry FIFO fills.
+"""
+
+from repro import TransferBench, build_system32, build_system64
+from repro.reporting import format_table
+
+
+def main() -> None:
+    system32 = build_system32()
+    system64 = build_system64()
+    bench32 = TransferBench(system32)
+    bench64 = TransferBench(system64)
+
+    rows = []
+    for n in (512, 2048, 8192):
+        rows.append([
+            n,
+            bench32.pio_write_sequence(n).per_transfer_ns,
+            bench64.pio_write_sequence(n).per_transfer_ns,
+            bench64.dma_write_sequence(n).per_transfer_ns,
+        ])
+    print(format_table(
+        "Write sequences: memory -> dynamic region (ns per transfer)",
+        ["words", "32-bit PIO (32b words)", "64-bit PIO (32b words)", "64-bit DMA (64b words)"],
+        rows,
+    ))
+    print()
+
+    rows = []
+    for n in (512, 2048, 8192):
+        pio = bench64.pio_interleaved_sequence(n)
+        dma = bench64.dma_interleaved_sequence(n)
+        pio_bw = pio.bandwidth_mbps
+        dma_bw = dma.bandwidth_mbps
+        rows.append([n, pio.per_transfer_ns, pio_bw, dma.per_transfer_ns, dma_bw])
+    print(format_table(
+        "Interleaved write/read on the 64-bit system: PIO vs block-interleaved DMA",
+        ["words", "PIO ns/pair", "PIO MB/s", "DMA ns/word", "DMA MB/s"],
+        rows,
+    ))
+    print()
+    print("Observations (cf. paper section 4.2):")
+    print(" * CPU-controlled transfers improve 4-6x over the 32-bit system")
+    print("   (bus clock x2, CPU clock x1.5, no PLB-OPB bridge in the path).")
+    print(" * Only DMA exploits the 64-bit width - at the price of block-")
+    print("   structured data and FIFO-sized interleaving restrictions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation`` (and ``python setup.py
+develop``) to work on machines without the ``wheel`` package; all real
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Developer-facing analysis tools built on the measured transfer costs."""
+
+from .amortization import (
+    Episode,
+    EpisodePlanner,
+    Plan,
+    PlanStep,
+    break_even_runs,
+    measure_episode,
+)
+from .lower_bound import (
+    Assessment,
+    Method,
+    TaskProfile,
+    TransferCosts,
+    assess,
+    best_method,
+    hardware_lower_bound_ps,
+    measure_transfer_costs,
+)
+from .utilization import BusUtilization, UtilizationReport, profile_run
+
+__all__ = [
+    "Assessment",
+    "BusUtilization",
+    "Episode",
+    "EpisodePlanner",
+    "Method",
+    "Plan",
+    "PlanStep",
+    "break_even_runs",
+    "measure_episode",
+    "TaskProfile",
+    "TransferCosts",
+    "UtilizationReport",
+    "assess",
+    "best_method",
+    "hardware_lower_bound_ps",
+    "measure_transfer_costs",
+    "profile_run",
+]

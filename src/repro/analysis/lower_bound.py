@@ -1,0 +1,180 @@
+"""Lower-bound assessment of hardware candidates.
+
+The paper's stated use for its transfer tables: "The times reported in
+table 2 allow the developer to determine a lower bound for the time
+required to use the dynamic area.  This lower bound can be used to make a
+first assessment of the improvements that can be obtained by moving a
+function from software to hardware" (and, for the 64-bit system, "to
+evaluate the gains from using each of the two data transfer methods").
+
+:func:`measure_transfer_costs` runs short calibration sequences on a
+system; :func:`hardware_lower_bound_ps` turns a task's I/O volume into the
+minimum possible dynamic-area time; :func:`assess` compares that bound
+against a software time and says whether hardware *can* win — before any
+kernel is designed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.system import System
+from ..core.transfer import TransferBench
+from ..errors import TransferError
+
+
+class Method(enum.Enum):
+    """Transfer method a candidate implementation would use."""
+
+    PIO = "pio"
+    DMA = "dma"
+
+
+@dataclass(frozen=True)
+class TransferCosts:
+    """Measured per-transfer costs of one system (ns)."""
+
+    system_name: str
+    pio_write_ns: float
+    pio_read_ns: float
+    pio_pair_ns: float
+    dma_write_ns: Optional[float] = None
+    dma_read_ns: Optional[float] = None
+    dma_pair_ns: Optional[float] = None
+
+    @property
+    def supports_dma(self) -> bool:
+        return self.dma_write_ns is not None
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """I/O volume of a candidate hardware task.
+
+    ``words_in``/``words_out`` are 32-bit words for PIO and 64-bit words
+    for DMA; ``prep_cycles`` is CPU work the hardware path cannot avoid
+    (e.g. combining two source images before a DMA transfer).
+    """
+
+    name: str
+    words_in: int
+    words_out: int
+    prep_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.words_in < 0 or self.words_out < 0 or self.prep_cycles < 0:
+            raise TransferError("task profile volumes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """Outcome of a first hardware feasibility check."""
+
+    profile: TaskProfile
+    method: Method
+    lower_bound_ps: int
+    software_ps: int
+
+    @property
+    def max_speedup(self) -> float:
+        """Best speedup any hardware implementation could reach."""
+        return self.software_ps / self.lower_bound_ps if self.lower_bound_ps else float("inf")
+
+    @property
+    def worthwhile(self) -> bool:
+        """True when transfers alone do not already eat the software time."""
+        return self.max_speedup > 1.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "can win" if self.worthwhile else "cannot win (transfer-bound)"
+        return (
+            f"{self.profile.name} via {self.method.value}: lower bound "
+            f"{self.lower_bound_ps / 1e6:.1f} us vs software "
+            f"{self.software_ps / 1e6:.1f} us -> max speedup "
+            f"{self.max_speedup:.2f}x, {verdict}"
+        )
+
+
+def measure_transfer_costs(system: System, sample_words: int = 512) -> TransferCosts:
+    """Calibrate the per-transfer costs of ``system`` (Tables 2/7/8 rows)."""
+    bench = TransferBench(system)
+    pio_write = bench.pio_write_sequence(sample_words).per_transfer_ns
+    pio_read = bench.pio_read_sequence(sample_words).per_transfer_ns
+    pio_pair = bench.pio_interleaved_sequence(sample_words).per_transfer_ns
+    dma_write = dma_read = dma_pair = None
+    if system.bus_width == 64:
+        dma_write = bench.dma_write_sequence(sample_words).per_transfer_ns
+        dma_read = bench.dma_read_sequence(sample_words).per_transfer_ns
+        dma_pair = bench.dma_interleaved_sequence(sample_words).per_transfer_ns
+    return TransferCosts(
+        system_name=system.name,
+        pio_write_ns=pio_write,
+        pio_read_ns=pio_read,
+        pio_pair_ns=pio_pair,
+        dma_write_ns=dma_write,
+        dma_read_ns=dma_read,
+        dma_pair_ns=dma_pair,
+    )
+
+
+def hardware_lower_bound_ps(
+    costs: TransferCosts,
+    profile: TaskProfile,
+    method: Method,
+    cpu_period_ps: int,
+) -> int:
+    """Minimum time a hardware version of ``profile`` can possibly take.
+
+    Assumes an infinitely fast kernel: only the transfer costs and the
+    unavoidable CPU preparation remain.  The measured sequences "include
+    the overhead of the controlling software" (the paper's phrasing); an
+    ideal driver can fold that bookkeeping away, so the bound strips the
+    per-transfer loop cycles from the PIO numbers.
+    """
+    from ..core.transfer import PIO_LOOP_CYCLES
+
+    if method is Method.DMA and not costs.supports_dma:
+        raise TransferError(f"{costs.system_name} supports only CPU-controlled transfers")
+    if method is Method.PIO:
+        loop_ns = PIO_LOOP_CYCLES * cpu_period_ps / 1000.0
+        write_ns = max(0.0, costs.pio_write_ns - loop_ns)
+        read_ns = max(0.0, costs.pio_read_ns - loop_ns)
+        transfer_ns = profile.words_in * write_ns + profile.words_out * read_ns
+    else:
+        transfer_ns = profile.words_in * costs.dma_write_ns + profile.words_out * costs.dma_read_ns
+    prep_ps = profile.prep_cycles * cpu_period_ps
+    return round(transfer_ns * 1000) + prep_ps
+
+
+def assess(
+    system: System,
+    profile: TaskProfile,
+    software_ps: int,
+    method: Method = Method.PIO,
+    costs: Optional[TransferCosts] = None,
+) -> Assessment:
+    """First feasibility check for moving ``profile`` into the dynamic area."""
+    if costs is None:
+        costs = measure_transfer_costs(system)
+    bound = hardware_lower_bound_ps(costs, profile, method, system.cpu_clock.period_ps)
+    return Assessment(
+        profile=profile, method=method, lower_bound_ps=bound, software_ps=software_ps
+    )
+
+
+def best_method(system: System, profile: TaskProfile, software_ps: int) -> Assessment:
+    """Assess every method the system supports and return the best one."""
+    costs = measure_transfer_costs(system)
+    candidates = [assess(system, profile, software_ps, Method.PIO, costs)]
+    if costs.supports_dma:
+        # DMA profiles move 64-bit words: halve the 32-bit word counts.
+        dma_profile = TaskProfile(
+            name=profile.name,
+            words_in=(profile.words_in + 1) // 2,
+            words_out=(profile.words_out + 1) // 2,
+            prep_cycles=profile.prep_cycles,
+        )
+        candidates.append(assess(system, dma_profile, software_ps, Method.DMA, costs))
+    return max(candidates, key=lambda a: a.max_speedup)

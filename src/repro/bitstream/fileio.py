@@ -1,0 +1,115 @@
+""".bit-style file container.
+
+Serialises a :class:`Bitstream` in the classic Xilinx ``.bit`` layout: a
+small tagged header (design name, part, date, time) followed by a
+length-prefixed block of configuration words.  Files written here load
+back bit-identically, so partial configurations can be staged on disk the
+way a deployment flow would ship them.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import BitstreamError
+from .bitstream import Bitstream, BitstreamKind
+
+#: The fixed preamble every .bit file starts with (length-tagged field of
+#: nine bytes, then the 'a' field marker), as in the original format.
+_PREAMBLE = bytes([0x00, 0x09, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x00, 0x00, 0x01])
+
+
+@dataclass(frozen=True)
+class BitFileHeader:
+    """Metadata carried in a .bit header."""
+
+    design_name: str
+    part_name: str
+    date: str
+    time: str
+
+    def __post_init__(self) -> None:
+        for field_name in ("design_name", "part_name", "date", "time"):
+            value = getattr(self, field_name)
+            if "\x00" in value:
+                raise BitstreamError(f".bit header field {field_name} contains NUL")
+
+
+def _tagged_string(tag: bytes, value: str) -> bytes:
+    data = value.encode("ascii") + b"\x00"
+    return tag + struct.pack(">H", len(data)) + data
+
+
+def _read_tagged_string(blob: bytes, offset: int, expected_tag: bytes) -> Tuple[str, int]:
+    if blob[offset : offset + 1] != expected_tag:
+        raise BitstreamError(
+            f".bit parse error: expected field {expected_tag!r} at offset {offset}"
+        )
+    (length,) = struct.unpack_from(">H", blob, offset + 1)
+    start = offset + 3
+    raw = blob[start : start + length]
+    if len(raw) != length or not raw.endswith(b"\x00"):
+        raise BitstreamError(".bit parse error: truncated string field")
+    return raw[:-1].decode("ascii"), start + length
+
+
+def write_bit_file(
+    path: Union[str, Path],
+    bitstream: Bitstream,
+    design_name: str = "",
+    date: str = "2006-04-25",
+    time: str = "12:00:00",
+) -> BitFileHeader:
+    """Write ``bitstream`` to ``path`` in .bit layout; returns the header."""
+    header = BitFileHeader(
+        design_name=design_name or (bitstream.description or "repro_design"),
+        part_name=bitstream.device_name.lower(),
+        date=date,
+        time=time,
+    )
+    words = bitstream.to_words()
+    payload = np.asarray(words, dtype=">u4").tobytes()
+    blob = bytearray()
+    blob += _PREAMBLE
+    blob += _tagged_string(b"a", header.design_name)
+    blob += _tagged_string(b"b", header.part_name)
+    blob += _tagged_string(b"c", header.date)
+    blob += _tagged_string(b"d", header.time)
+    blob += b"e" + struct.pack(">I", len(payload))
+    blob += payload
+    Path(path).write_bytes(bytes(blob))
+    return header
+
+
+def read_bit_file(path: Union[str, Path]) -> Tuple[Bitstream, BitFileHeader]:
+    """Parse a .bit file back into a (CRC-checked) bitstream and header."""
+    blob = Path(path).read_bytes()
+    if not blob.startswith(_PREAMBLE):
+        raise BitstreamError(f"{path}: not a .bit file (bad preamble)")
+    offset = len(_PREAMBLE)
+    design_name, offset = _read_tagged_string(blob, offset - 1 + 1, b"a")
+    part_name, offset = _read_tagged_string(blob, offset, b"b")
+    date, offset = _read_tagged_string(blob, offset, b"c")
+    time, offset = _read_tagged_string(blob, offset, b"d")
+    if blob[offset : offset + 1] != b"e":
+        raise BitstreamError(f"{path}: missing data-length field")
+    (length,) = struct.unpack_from(">I", blob, offset + 1)
+    payload = blob[offset + 5 : offset + 5 + length]
+    if len(payload) != length:
+        raise BitstreamError(f"{path}: truncated payload ({len(payload)} of {length} bytes)")
+    if length % 4:
+        raise BitstreamError(f"{path}: payload not word-aligned")
+    words = np.frombuffer(payload, dtype=">u4").astype(np.uint32)
+    bitstream = Bitstream.from_words(words, kind=BitstreamKind.PARTIAL_COMPLETE)
+    header = BitFileHeader(design_name=design_name, part_name=part_name, date=date, time=time)
+    if header.part_name.upper() != bitstream.device_name:
+        raise BitstreamError(
+            f"{path}: header names part {header.part_name!r} but the stream's IDCODE "
+            f"says {bitstream.device_name}"
+        )
+    return bitstream, header

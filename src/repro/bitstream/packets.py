@@ -1,0 +1,218 @@
+"""Configuration packet stream.
+
+Bitstreams are serialised as a stream of 32-bit words using a simplified
+Virtex-II Pro packet protocol:
+
+* a **sync word** opens the stream;
+* **Type-1 packets** write one or more words to a configuration register
+  (CMD, FAR, FDRI, CRC, IDCODE, ...);
+* **Type-2 packets** extend the previous Type-1 with a large word count
+  (used for long FDRI frame-data bursts);
+* a final CRC write checks stream integrity; a DESYNC command closes it.
+
+The on-the-wire layout is faithful in spirit (header word with opcode /
+register / word count, followed by payload) so that parsing, CRC checking
+and size accounting behave like the real configuration port.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import BitstreamError, CRCError
+
+#: Stream synchronisation word (as on Virtex devices).
+SYNC_WORD = 0xAA995566
+#: Dummy padding word.
+DUMMY_WORD = 0xFFFFFFFF
+
+_TYPE1 = 0x1
+_TYPE2 = 0x2
+_OP_NOP = 0x0
+_OP_READ = 0x1
+_OP_WRITE = 0x2
+
+#: Max payload words encodable in a Type-1 header.
+TYPE1_MAX_WORDS = (1 << 11) - 1
+
+
+class Register(enum.IntEnum):
+    """Configuration registers reachable through packets."""
+
+    CRC = 0x0
+    FAR = 0x1
+    FDRI = 0x2
+    FDRO = 0x3
+    CMD = 0x4
+    CTL = 0x5
+    MASK = 0x6
+    STAT = 0x7
+    LOUT = 0x8
+    COR = 0x9
+    IDCODE = 0xC
+
+
+class Command(enum.IntEnum):
+    """Values written to the CMD register."""
+
+    NULL = 0x0
+    WCFG = 0x1  # write configuration data
+    LFRM = 0x3  # last frame
+    RCFG = 0x4  # read configuration data
+    START = 0x5
+    RCRC = 0x7  # reset CRC
+    DESYNC = 0xD
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One decoded configuration packet."""
+
+    opcode: int
+    register: Register
+    payload: tuple[int, ...]
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode == _OP_WRITE
+
+
+def _type1_header(opcode: int, register: int, word_count: int) -> int:
+    if word_count > TYPE1_MAX_WORDS:
+        raise BitstreamError(f"Type-1 packet too long ({word_count} words)")
+    return (_TYPE1 << 29) | (opcode << 27) | ((register & 0x3FFF) << 13) | word_count
+
+
+def _type2_header(opcode: int, word_count: int) -> int:
+    if word_count >= 1 << 27:
+        raise BitstreamError(f"Type-2 packet too long ({word_count} words)")
+    return (_TYPE2 << 29) | (opcode << 27) | word_count
+
+
+class PacketWriter:
+    """Serialises packets into a word stream, tracking a running CRC."""
+
+    def __init__(self) -> None:
+        self._words: List[int] = [DUMMY_WORD, SYNC_WORD]
+        self._crc = 0
+
+    def _emit(self, word: int) -> None:
+        self._words.append(word & 0xFFFFFFFF)
+
+    def _crc_update(self, register: int, payload: Sequence[int]) -> None:
+        blob = register.to_bytes(2, "little") + b"".join(
+            int(w).to_bytes(4, "little") for w in payload
+        )
+        self._crc = zlib.crc32(blob, self._crc)
+
+    def write_register(self, register: Register, values: Sequence[int]) -> None:
+        """Emit a Type-1 write (with a Type-2 extension for long bursts)."""
+        values = [int(v) & 0xFFFFFFFF for v in values]
+        if register != Register.CRC:
+            self._crc_update(int(register), values)
+        if len(values) <= TYPE1_MAX_WORDS:
+            self._emit(_type1_header(_OP_WRITE, int(register), len(values)))
+            for value in values:
+                self._emit(value)
+        else:
+            # Zero-length Type-1 names the register, Type-2 carries the data.
+            self._emit(_type1_header(_OP_WRITE, int(register), 0))
+            self._emit(_type2_header(_OP_WRITE, len(values)))
+            for value in values:
+                self._emit(value)
+
+    def write_command(self, command: Command) -> None:
+        """Write the CMD register."""
+        if command == Command.RCRC:
+            self._crc = 0
+            self._emit(_type1_header(_OP_WRITE, int(Register.CMD), 1))
+            self._emit(int(command))
+            return
+        self.write_register(Register.CMD, [int(command)])
+
+    def write_crc(self) -> None:
+        """Emit the current running CRC as a CRC-register write."""
+        self._emit(_type1_header(_OP_WRITE, int(Register.CRC), 1))
+        self._emit(self._crc)
+
+    def finish(self) -> np.ndarray:
+        """Close the stream (CRC + DESYNC) and return the word array."""
+        self.write_crc()
+        self.write_command(Command.DESYNC)
+        self._emit(DUMMY_WORD)
+        return np.array(self._words, dtype=np.uint32)
+
+
+class PacketReader:
+    """Parses a word stream back into packets, verifying the CRC."""
+
+    def __init__(self, words: np.ndarray) -> None:
+        self._words = np.asarray(words, dtype=np.uint32)
+        self._crc = 0
+
+    def packets(self) -> Iterator[Packet]:
+        """Decode all packets; raises :class:`CRCError` on a bad checksum."""
+        idx = 0
+        words = self._words
+        n = len(words)
+        # Skip dummies up to the sync word.
+        while idx < n and int(words[idx]) != SYNC_WORD:
+            if int(words[idx]) != DUMMY_WORD:
+                raise BitstreamError(f"unexpected word {int(words[idx]):#010x} before sync")
+            idx += 1
+        if idx == n:
+            raise BitstreamError("no sync word found")
+        idx += 1
+        pending_register: Register | None = None
+        while idx < n:
+            header = int(words[idx])
+            idx += 1
+            if header == DUMMY_WORD:
+                continue
+            ptype = header >> 29
+            opcode = (header >> 27) & 0x3
+            if ptype == _TYPE1:
+                register = Register((header >> 13) & 0x3FFF)
+                count = header & 0x7FF
+                payload = tuple(int(w) for w in words[idx : idx + count])
+                if len(payload) != count:
+                    raise BitstreamError("truncated Type-1 packet")
+                idx += count
+                pending_register = register
+                yield from self._deliver(opcode, register, payload)
+            elif ptype == _TYPE2:
+                if pending_register is None:
+                    raise BitstreamError("Type-2 packet without preceding Type-1")
+                count = header & ((1 << 27) - 1)
+                payload = tuple(int(w) for w in words[idx : idx + count])
+                if len(payload) != count:
+                    raise BitstreamError("truncated Type-2 packet")
+                idx += count
+                yield from self._deliver(opcode, pending_register, payload)
+            else:
+                raise BitstreamError(f"unknown packet type {ptype} in header {header:#010x}")
+
+    def _deliver(self, opcode: int, register: Register, payload: tuple[int, ...]) -> Iterator[Packet]:
+        if opcode == _OP_WRITE and register == Register.CRC:
+            if payload and payload[0] != self._crc:
+                raise CRCError(
+                    f"CRC mismatch: stream says {payload[0]:#010x}, computed {self._crc:#010x}"
+                )
+            yield Packet(opcode, register, payload)
+            return
+        if opcode == _OP_WRITE:
+            if register == Register.CMD and payload and payload[0] == Command.RCRC:
+                self._crc = 0
+            elif payload:
+                # Zero-length Type-1 headers (register announcements ahead of
+                # a Type-2 burst) carry no data and are not CRC'd.
+                blob = int(register).to_bytes(2, "little") + b"".join(
+                    int(w).to_bytes(4, "little") for w in payload
+                )
+                self._crc = zlib.crc32(blob, self._crc)
+        yield Packet(opcode, register, payload)

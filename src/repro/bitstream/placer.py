@@ -1,0 +1,108 @@
+"""Automatic placement of component assemblies.
+
+BitLinker consumes explicit placements; this module computes them.  Two
+strategies cover the paper's use cases:
+
+* :func:`pack_chain` — components connected through shared bus macros must
+  abut in order (the dock feeds the leftmost, each feeds the next).
+* :func:`pack_independent` — unconnected components just need disjoint
+  column ranges; first-fit-decreasing keeps the leftover fabric in one
+  contiguous block (useful "when multiple similar configurations must be
+  produced" and iterated quickly).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import LinkError, ResourceError
+from ..fabric.region import Region
+from ..fabric.resources import ResourceVector
+from .bitlinker import Placement
+from .component import ComponentConfig
+
+
+def _validate_common(region: Region, components: Sequence[ComponentConfig]) -> None:
+    if not components:
+        raise LinkError("no components to place")
+    for component in components:
+        if component.height > region.rect.height:
+            raise LinkError(
+                f"component {component.name!r} is {component.height} rows tall; region "
+                f"{region.name!r} offers {region.rect.height}"
+            )
+    total = components[0].total_resources
+    for component in components[1:]:
+        total = total + component.total_resources
+    if not total.fits_within(region.resources):
+        raise ResourceError(
+            f"assembly needs {total}, region {region.name!r} provides {region.resources}"
+        )
+
+
+def pack_chain(region: Region, components: Sequence[ComponentConfig]) -> List[Placement]:
+    """Abutting left-to-right placement, preserving order.
+
+    The first component sits at the region's left edge (where the dock's
+    bus macros are); each following component starts exactly where the
+    previous one ends, so RIGHT/LEFT port pairs line up.
+    """
+    _validate_common(region, components)
+    placements: List[Placement] = []
+    cursor = 0
+    for component in components:
+        placements.append(Placement(component, col_offset=cursor, row_offset=0))
+        cursor += component.width
+    if cursor > region.rect.width:
+        raise ResourceError(
+            f"chain is {cursor} columns wide; region {region.name!r} offers "
+            f"{region.rect.width}"
+        )
+    return placements
+
+
+def pack_independent(
+    region: Region, components: Sequence[ComponentConfig]
+) -> List[Placement]:
+    """First-fit-decreasing column packing for unconnected components.
+
+    Components are sorted by width (widest first) and placed left to
+    right; the returned list preserves the *input* order so callers can
+    zip it with their component list.
+    """
+    _validate_common(region, components)
+    order = sorted(range(len(components)), key=lambda i: -components[i].width)
+    offsets: dict[int, int] = {}
+    cursor = 0
+    for index in order:
+        component = components[index]
+        if cursor + component.width > region.rect.width:
+            raise ResourceError(
+                f"component {component.name!r} does not fit: columns "
+                f"{cursor}..{cursor + component.width} exceed region width "
+                f"{region.rect.width}"
+            )
+        offsets[index] = cursor
+        cursor += component.width
+    return [
+        Placement(components[index], col_offset=offsets[index], row_offset=0)
+        for index in range(len(components))
+    ]
+
+
+def free_columns(region: Region, placements: Sequence[Placement]) -> int:
+    """Columns of the region not covered by any placement."""
+    covered = set()
+    for placement in placements:
+        covered.update(
+            range(placement.col_offset, placement.col_offset + placement.component.width)
+        )
+    return region.rect.width - len(covered)
+
+
+def assembly_resources(placements: Sequence[Placement]) -> ResourceVector:
+    """Total demand of a placement set (logic + macros)."""
+    total = ResourceVector()
+    for placement in placements:
+        total = total + placement.component.total_resources
+    return total

@@ -1,0 +1,222 @@
+"""Generic synchronous bus with CoreConnect-style phase timing.
+
+One :class:`Bus` instance models either the OPB or the PLB (see
+:mod:`repro.bus.opb` / :mod:`repro.bus.plb` for the concrete parameter
+sets).  Timing per request::
+
+    sync-to-clock + arbitration + address phase
+        + beats * beat_cycles            (pipelined: overlapped with address)
+        + slave wait states
+        [+ read turnaround]
+
+The bus serialises masters through a ``busy_until`` watermark: a request
+arriving while the bus is occupied starts when it frees up.  Writes to
+slaves that accept *posted* writes release the master after the address
+phase while the bus itself stays busy — this is what makes dock writes
+cheaper than dock reads in the paper's transfer tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..engine.clock import ClockDomain
+from ..engine.stats import StatsGroup
+from ..errors import AddressDecodeError, BusError, BusWidthError
+from .transaction import AddressRange, Completion, Op, Slave, Transaction
+
+
+@dataclass
+class Attachment:
+    """One slave plugged into the bus."""
+
+    slave: Slave
+    range: AddressRange
+    name: str
+    #: Writes complete (from the master's view) after the address phase.
+    posted_writes: bool = False
+
+
+class Bus:
+    """A synchronous, arbitrated, transaction-level bus."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: ClockDomain,
+        width_bits: int,
+        arb_cycles: int = 1,
+        addr_cycles: int = 1,
+        beat_cycles: int = 1,
+        read_turnaround_cycles: int = 1,
+        pipelined_bursts: bool = False,
+        max_burst_beats: int = 16,
+    ) -> None:
+        if width_bits not in (32, 64):
+            raise BusError(f"bus width {width_bits} not supported")
+        self.name = name
+        self.clock = clock
+        self.width_bits = width_bits
+        self.arb_cycles = arb_cycles
+        self.addr_cycles = addr_cycles
+        self.beat_cycles = beat_cycles
+        self.read_turnaround_cycles = read_turnaround_cycles
+        self.pipelined_bursts = pipelined_bursts
+        self.max_burst_beats = max_burst_beats
+        self._attachments: List[Attachment] = []
+        self._busy_until = 0
+        self.stats = StatsGroup(name)
+        #: Optional :class:`repro.engine.trace.TraceRecorder` hook.
+        self.tracer = None
+
+    # -- topology ---------------------------------------------------------
+    def attach(self, slave: Slave, base: int, size: int, name: str = "", posted_writes: bool = False) -> Attachment:
+        """Attach ``slave`` at address range [base, base+size)."""
+        new_range = AddressRange(base, size)
+        for existing in self._attachments:
+            if existing.range.overlaps(new_range):
+                raise BusError(
+                    f"{self.name}: range {new_range} for {name or slave!r} overlaps "
+                    f"{existing.name} at {existing.range}"
+                )
+        attachment = Attachment(
+            slave=slave, range=new_range, name=name or type(slave).__name__, posted_writes=posted_writes
+        )
+        self._attachments.append(attachment)
+        return attachment
+
+    def decode(self, address: int, length: int = 1) -> Attachment:
+        """Find the slave claiming ``address`` (raises if none)."""
+        for attachment in self._attachments:
+            if attachment.range.contains(address, length):
+                return attachment
+        raise AddressDecodeError(address)
+
+    @property
+    def attachments(self) -> Tuple[Attachment, ...]:
+        return tuple(self._attachments)
+
+    @property
+    def busy_until(self) -> int:
+        """Time the current bus tenure ends (for contention modelling)."""
+        return self._busy_until
+
+    # -- timing core ---------------------------------------------------------
+    def _tenure_cycles(self, txn: Transaction, wait_cycles: int) -> int:
+        """Bus-clock cycles the transaction occupies the bus."""
+        beats = txn.beats
+        if self.pipelined_bursts:
+            data_cycles = beats * self.beat_cycles
+            cycles = self.arb_cycles + max(self.addr_cycles, 0) + data_cycles
+        else:
+            cycles = self.arb_cycles + (self.addr_cycles + self.beat_cycles) * beats
+        cycles += wait_cycles
+        if txn.op is Op.READ:
+            cycles += self.read_turnaround_cycles
+        return cycles
+
+    def request(self, when_ps: int, txn: Transaction, master=None) -> Completion:
+        """Perform ``txn``, starting no earlier than ``when_ps``.
+
+        Returns the completion; the bus's busy watermark advances.  Bursts
+        longer than ``max_burst_beats`` are split into maximal sub-bursts
+        (each re-arbitrated), like a real CoreConnect master would.
+        ``master`` (a :class:`repro.bus.arbiter.Master`) attributes the
+        tenure in the per-master statistics.
+        """
+        if txn.size_bytes * 8 > self.width_bits:
+            raise BusWidthError(
+                f"{self.name} is {self.width_bits}-bit; cannot carry "
+                f"{txn.size_bytes * 8}-bit beats"
+            )
+        if txn.beats > self.max_burst_beats:
+            return self._split_burst(when_ps, txn, master)
+
+        attachment = self.decode(txn.address, txn.total_bytes)
+        start = self.clock.next_edge(max(when_ps, self._busy_until))
+        wait_cycles, value = attachment.slave.access(txn, start)
+        if wait_cycles < 0:
+            raise BusError(f"slave {attachment.name} returned negative wait states")
+        tenure = self._tenure_cycles(txn, wait_cycles)
+        done = start + self.clock.cycles_to_ps(tenure)
+        self._busy_until = done
+
+        released: Optional[int] = None
+        if txn.op is Op.WRITE and attachment.posted_writes:
+            released = start + self.clock.cycles_to_ps(self.arb_cycles + self.addr_cycles)
+
+        self.stats.count(f"{txn.op.value}s")
+        self.stats.count("beats", txn.beats)
+        self.stats.record("busy_ps", done - start)
+        if master is not None:
+            self.stats.count(f"master[{master.name}].{txn.op.value}s")
+            self.stats.record(f"master[{master.name}].busy_ps", done - start)
+            wait_for_bus = start - self.clock.next_edge(when_ps)
+            if wait_for_bus > 0:
+                self.stats.record(f"master[{master.name}].contention_ps", wait_for_bus)
+        if self.tracer is not None:
+            self.tracer.record(
+                start,
+                self.name,
+                txn.op.value,
+                address=txn.address,
+                beats=txn.beats,
+                size=txn.size_bytes,
+                slave=attachment.name,
+                duration_ps=done - start,
+                posted=released is not None,
+            )
+        return Completion(done_ps=done, value=value, released_ps=released)
+
+    def request_concurrent(self, when_ps: int, requests, arbiter) -> List[Completion]:
+        """Issue several same-edge requests in arbiter-granted order.
+
+        ``requests`` is a sequence of ``(Master, Transaction)`` pairs that
+        all want the bus at ``when_ps``; the arbiter decides the grant
+        order and every loser naturally queues behind the winner's tenure.
+        Completions are returned in the *input* order.
+        """
+        order = arbiter.order(requests)
+        if sorted(order) != list(range(len(requests))):
+            raise BusError("arbiter returned an invalid grant order")
+        completions: List[Optional[Completion]] = [None] * len(requests)
+        for index in order:
+            master, txn = requests[index]
+            completions[index] = self.request(when_ps, txn, master=master)
+        return completions  # type: ignore[return-value]
+
+    def _split_burst(self, when_ps: int, txn: Transaction, master=None) -> Completion:
+        remaining = txn.beats
+        address = txn.address
+        offset = 0
+        cursor = when_ps
+        values: List[Any] = []
+        released: Optional[int] = None
+        while remaining > 0:
+            chunk = min(remaining, self.max_burst_beats)
+            data = None
+            if txn.data is not None:
+                data = txn.data[offset : offset + chunk]
+            sub = Transaction(
+                op=txn.op, address=address, size_bytes=txn.size_bytes, beats=chunk, data=data
+            )
+            completion = self.request(cursor, sub, master=master)
+            if completion.value is not None:
+                values.extend(
+                    completion.value if isinstance(completion.value, (list, tuple)) else [completion.value]
+                )
+            cursor = completion.done_ps
+            released = completion.released_ps
+            address += chunk * txn.size_bytes
+            offset += chunk
+            remaining -= chunk
+        value: Any = values if values else None
+        return Completion(done_ps=cursor, value=value, released_ps=released)
+
+    # -- bookkeeping -----------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.width_bits}-bit @ {self.clock.freq_mhz:g} MHz)"

@@ -1,0 +1,32 @@
+"""On-Chip Peripheral Bus (OPB).
+
+The 32-bit, lower-performance, low-resource-cost member of the CoreConnect
+family.  Single data beat per address phase, no burst pipelining, one cycle
+of read turnaround.  The paper's 32-bit system hangs its external memory
+controller, serial port, GPIO, HWICAP and the OPB Dock off this bus.
+"""
+
+from __future__ import annotations
+
+from ..engine.clock import ClockDomain
+from .bus import Bus
+
+#: OPB data width in bits.
+OPB_WIDTH_BITS = 32
+#: Sequential (non-pipelined) bursts re-issue the address every beat.
+OPB_MAX_BURST_BEATS = 16
+
+
+def make_opb(clock: ClockDomain, name: str = "opb") -> Bus:
+    """Build an OPB instance in the given clock domain."""
+    return Bus(
+        name=name,
+        clock=clock,
+        width_bits=OPB_WIDTH_BITS,
+        arb_cycles=1,
+        addr_cycles=1,
+        beat_cycles=1,
+        read_turnaround_cycles=1,
+        pipelined_bursts=False,
+        max_burst_beats=OPB_MAX_BURST_BEATS,
+    )

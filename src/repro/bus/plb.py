@@ -1,0 +1,33 @@
+"""Processor Local Bus (PLB).
+
+The 64-bit, high-performance CoreConnect bus.  Address and data phases are
+decoupled, so bursts stream one beat per cycle after a single address
+phase.  Both of the paper's systems use the PLB for the CPU's memory port;
+only the 64-bit system also puts the external memory controller and the
+(PLB) Dock on it.
+"""
+
+from __future__ import annotations
+
+from ..engine.clock import ClockDomain
+from .bus import Bus
+
+#: PLB data width in bits.
+PLB_WIDTH_BITS = 64
+#: PLB-4-style maximum burst length in beats.
+PLB_MAX_BURST_BEATS = 16
+
+
+def make_plb(clock: ClockDomain, name: str = "plb") -> Bus:
+    """Build a PLB instance in the given clock domain."""
+    return Bus(
+        name=name,
+        clock=clock,
+        width_bits=PLB_WIDTH_BITS,
+        arb_cycles=1,
+        addr_cycles=1,
+        beat_cycles=1,
+        read_turnaround_cycles=1,
+        pipelined_bursts=True,
+        max_burst_beats=PLB_MAX_BURST_BEATS,
+    )

@@ -1,0 +1,403 @@
+"""Hardware-accelerated application drivers.
+
+Each driver owns the software-visible protocol for one dynamic-area kernel:
+staging data, programmed-I/O or DMA transfers, result collection — and
+charges the CPU/bus models for every step, so the returned
+:class:`RunResult` times are directly comparable with the software tasks'.
+
+The drivers assume the kernel has already been configured into the region
+(use :class:`repro.core.reconfig.ReconfigManager`); reconfiguration time is
+reported separately, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..cpu.isa import InstructionMix
+from ..errors import KernelError, ReconfigurationError
+from ..kernels.image_ops import FLUSH_OFFSET
+from ..kernels.jenkins_hash import LENGTH_OFFSET as HASH_LENGTH_OFFSET
+from ..kernels.jenkins_hash import key_to_words
+from ..kernels.pattern_match import FLUSH_OFFSET as PM_FLUSH_OFFSET
+from ..kernels.pattern_match import PatternMatchKernel
+from ..kernels.sha1_core import FINALIZE_OFFSET as SHA_FINALIZE_OFFSET
+from ..kernels.sha1_core import LENGTH_OFFSET as SHA_LENGTH_OFFSET
+from ..kernels.sha1_core import REG_H
+from ..sw.costmodel import RunResult, charge_word_reads, charge_word_writes
+from . import memmap
+from .system import System
+
+#: Loop bookkeeping per PIO transfer in the driver loops.
+LOOP_CYCLES = 4
+#: CPU cost of interleaving one output-pixel's worth of two source images —
+#: the paper's "data preparation".  The PIO path does it on the fly inside
+#: the transfer loop (masks/shifts around each store); the DMA path runs a
+#: dedicated rlwimi-based word loop over the staging buffer, which is
+#: tighter per pixel.
+PREP_PIO_CYCLES_PER_PIXEL = 12
+PREP_DMA_CYCLES_PER_PIXEL = 2
+
+
+def _require_kernel(system: System, expected: str) -> None:
+    kernel = system.dock.kernel
+    if kernel is None or kernel.name != expected:
+        raise ReconfigurationError(
+            f"{system.name}: expected kernel {expected!r} in the dynamic area, "
+            f"found {getattr(kernel, 'name', None)!r} — reconfigure first"
+        )
+
+
+def _write_words(system: System, words: List[int], offset: int = 0) -> None:
+    """Programmed-I/O write loop (functional, per-word timing)."""
+    base = system.dock.base + offset
+    cpu = system.cpu
+    for word in words:
+        cpu.io_write(base, word)
+        cpu.execute_cycles(LOOP_CYCLES)
+
+
+def _read_words(system: System, count: int, offset: int = 0) -> List[int]:
+    """Programmed-I/O read loop (functional, per-word timing)."""
+    base = system.dock.base + offset
+    cpu = system.cpu
+    out = []
+    for _ in range(count):
+        out.append(cpu.io_read(base))
+        cpu.execute_cycles(LOOP_CYCLES)
+    return out
+
+
+class HwPatternMatch:
+    """Pattern matching in the dynamic area (CPU-controlled transfers).
+
+    The image is staged column-packed (one byte per strip column), so the
+    CPU's inner loop is: load a word (4 or 8 columns), write it to the
+    dock, and read back one packed-counts word per word written.
+    """
+
+    name = "pattern-match/hw"
+
+    def run(self, system: System, image: np.ndarray) -> RunResult:
+        _require_kernel(system, "patmatch")
+        kernel: PatternMatchKernel = system.dock.kernel
+        img = np.asarray(image).astype(bool)
+        strips = img.shape[0] - 7
+        width = img.shape[1]
+        cpu = system.cpu
+        start = cpu.now_ps
+        counts_rows: List[List[int]] = []
+        for strip in range(strips):
+            kernel.reset()
+            cols = PatternMatchKernel.strip_columns(img, strip)
+            words = [
+                sum(cols[i + j] << (8 * j) for j in range(4) if i + j < len(cols))
+                for i in range(0, len(cols), 4)
+            ]
+            # The column words are loaded from external memory...
+            charge_word_reads(system, memmap.STAGE_INPUT, len(words))
+            # ...pushed through the dock...
+            _write_words(system, words)
+            cpu.io_write(system.dock.base + PM_FLUSH_OFFSET, 0)
+            # ...and the packed match counts read back and stored.
+            expect_words = (width - 7 + 3) // 4
+            result_words = _read_words(system, expect_words)
+            charge_word_writes(system, memmap.STAGE_OUTPUT, expect_words)
+            counts: List[int] = []
+            for word in result_words:
+                counts.extend((word >> (8 * j)) & 0xFF for j in range(4))
+            counts_rows.append(counts[: width - 7])
+        result = np.array(counts_rows, dtype=np.int32)
+        return RunResult(result=result, elapsed_ps=cpu.now_ps - start, label=self.name)
+
+
+class HwJenkinsHash:
+    """lookup2 in the dynamic area (CPU-controlled transfers)."""
+
+    name = "lookup2/hw"
+
+    def run(self, system: System, key: bytes) -> RunResult:
+        _require_kernel(system, "lookup2")
+        cpu = system.cpu
+        start = cpu.now_ps
+        cpu.io_write(system.dock.base + HASH_LENGTH_OFFSET, len(key))
+        words = key_to_words(key)
+        charge_word_reads(system, memmap.STAGE_INPUT, len(words))
+        _write_words(system, words)
+        digest = cpu.io_read(system.dock.base)
+        return RunResult(result=digest, elapsed_ps=cpu.now_ps - start, label=self.name)
+
+
+class HwSha1:
+    """SHA-1 in the dynamic area (32-bit CPU-controlled transfers).
+
+    Only available where the kernel fits — i.e. the 64-bit system; the
+    32-bit system's region rejects the component at registration time.
+    """
+
+    name = "sha1/hw"
+
+    def run(self, system: System, message: bytes) -> RunResult:
+        _require_kernel(system, "sha1")
+        cpu = system.cpu
+        start = cpu.now_ps
+        cpu.io_write(system.dock.base + SHA_LENGTH_OFFSET, len(message))
+        words = key_to_words(message)
+        charge_word_reads(system, memmap.STAGE_INPUT, len(words))
+        _write_words(system, words)
+        cpu.io_write(system.dock.base + SHA_FINALIZE_OFFSET, 1)
+        h = [cpu.io_read(system.dock.base + reg) for reg in REG_H]
+        digest = b"".join(int(x).to_bytes(4, "big") for x in h)
+        return RunResult(result=digest, elapsed_ps=cpu.now_ps - start, label=self.name)
+
+
+class _HwImageBase:
+    """Shared plumbing for the image tasks."""
+
+    kernel_name = ""
+    name = "image/hw"
+
+    @staticmethod
+    def _pack(pixels: np.ndarray, word_bytes: int) -> List[int]:
+        """Pack a uint8 array into little-endian words."""
+        flat = np.asarray(pixels, dtype=np.uint8).ravel()
+        pad = (-len(flat)) % word_bytes
+        if pad:
+            flat = np.concatenate([flat, np.zeros(pad, dtype=np.uint8)])
+        dtype = "<u4" if word_bytes == 4 else "<u8"
+        return [int(v) for v in flat.view(dtype)]
+
+    @staticmethod
+    def _unpack(words: List[int], word_bytes: int, count: int) -> np.ndarray:
+        dtype = "<u4" if word_bytes == 4 else "<u8"
+        arr = np.array(words, dtype=np.uint64).astype(dtype).view(np.uint8)
+        return arr[:count].copy()
+
+
+class HwBrightnessPio(_HwImageBase):
+    """Brightness via CPU-controlled transfers (the 32-bit method)."""
+
+    kernel_name = "brightness"
+    name = "brightness/hw-pio"
+
+    def run(self, system: System, image: np.ndarray) -> RunResult:
+        _require_kernel(system, self.kernel_name)
+        cpu = system.cpu
+        start = cpu.now_ps
+        pixels = np.asarray(image, dtype=np.uint8).ravel()
+        words = self._pack(pixels, 4)
+        charge_word_reads(system, memmap.STAGE_INPUT, len(words))
+        out_words: List[int] = []
+        for word in words:
+            cpu.io_write(system.dock.base, word)
+            out_words.append(cpu.io_read(system.dock.base))
+            cpu.execute_cycles(LOOP_CYCLES)
+        cpu.io_write(system.dock.base + FLUSH_OFFSET, 0)
+        tail = system.dock.pending_outputs if hasattr(system.dock, "pending_outputs") else len(system.dock.fifo)
+        out_words.extend(_read_words(system, tail))
+        charge_word_writes(system, memmap.STAGE_OUTPUT, len(out_words))
+        result = self._unpack(out_words, 4, pixels.size).reshape(np.asarray(image).shape)
+        return RunResult(result=result, elapsed_ps=cpu.now_ps - start, label=self.name)
+
+
+class _HwTwoSourcePio(_HwImageBase):
+    """Blend/fade via CPU-controlled transfers: the CPU interleaves lanes."""
+
+    def run(self, system: System, a: np.ndarray, b: np.ndarray) -> RunResult:
+        _require_kernel(system, self.kernel_name)
+        if a.shape != b.shape:
+            raise KernelError("images must have the same shape")
+        cpu = system.cpu
+        start = cpu.now_ps
+        a_flat = np.asarray(a, dtype=np.uint8).ravel()
+        b_flat = np.asarray(b, dtype=np.uint8).ravel()
+        lanes = np.empty(a_flat.size * 2, dtype=np.uint8)
+        lanes[0::2] = a_flat
+        lanes[1::2] = b_flat
+        words = self._pack(lanes, 4)
+        # Two source words loaded per output word plus the combining work.
+        prep_start = cpu.now_ps
+        charge_word_reads(system, memmap.STAGE_INPUT, (len(words) + 1) // 2)
+        charge_word_reads(system, memmap.STAGE_AUX, (len(words) + 1) // 2)
+        cpu.execute_cycles(PREP_PIO_CYCLES_PER_PIXEL * a_flat.size)
+        prep_ps = cpu.now_ps - prep_start
+        out_words: List[int] = []
+        for index, word in enumerate(words):
+            cpu.io_write(system.dock.base, word)
+            cpu.execute_cycles(LOOP_CYCLES)
+            if index % 2 == 1:  # every two input words complete 4 output px
+                out_words.append(cpu.io_read(system.dock.base))
+        cpu.io_write(system.dock.base + FLUSH_OFFSET, 0)
+        tail = system.dock.pending_outputs if hasattr(system.dock, "pending_outputs") else len(system.dock.fifo)
+        out_words.extend(_read_words(system, tail))
+        charge_word_writes(system, memmap.STAGE_OUTPUT, len(out_words))
+        result = self._unpack(out_words, 4, a_flat.size).reshape(np.asarray(a).shape)
+        return RunResult(
+            result=result,
+            elapsed_ps=cpu.now_ps - start,
+            label=self.name,
+            breakdown={"data_preparation_ps": prep_ps},
+        )
+
+
+class HwBlendPio(_HwTwoSourcePio):
+    kernel_name = "blend"
+    name = "blend/hw-pio"
+
+
+class HwFadePio(_HwTwoSourcePio):
+    kernel_name = "fade"
+    name = "fade/hw-pio"
+
+
+class HwBrightnessDma(_HwImageBase):
+    """Brightness via 64-bit DMA with the output FIFO (the 64-bit method).
+
+    Only one image is involved, so "the 64-bit data transfers could be
+    employed without additional work": stage -> DMA in -> FIFO -> DMA out.
+    """
+
+    kernel_name = "brightness"
+    name = "brightness/hw-dma"
+
+    def run(self, system: System, image: np.ndarray) -> RunResult:
+        _require_kernel(system, self.kernel_name)
+        dock = system.dock
+        if not hasattr(dock, "dma_write_block"):
+            raise KernelError(f"{system.name}: DMA image transfers need the PLB Dock")
+        cpu = system.cpu
+        start = cpu.now_ps
+        pixels = np.asarray(image, dtype=np.uint8).ravel()
+        pad = (-pixels.size) % 8
+        staged = np.concatenate([pixels, np.zeros(pad, dtype=np.uint8)]) if pad else pixels
+        system.ext_mem.load(memmap.STAGE_INPUT, staged)
+        n_words = staged.size // 8
+        cursor = cpu.now_ps
+        remaining = n_words
+        src = memmap.STAGE_INPUT
+        dst = memmap.STAGE_OUTPUT
+        cpu.execute_cycles(80)  # descriptor chain setup
+        while remaining:
+            chunk = min(remaining, dock.fifo.depth)
+            cursor = dock.dma_write_block(cursor, src, chunk)
+            cursor, drained = dock.dma_drain_fifo(cursor, dst)
+            src += chunk * 8
+            dst += drained * 8
+            remaining -= chunk
+        cpu.take_interrupt(cursor)
+        cpu.return_from_interrupt()
+        out = system.ext_mem.dump(memmap.STAGE_OUTPUT, staged.size)
+        result = out[: pixels.size].reshape(np.asarray(image).shape)
+        return RunResult(result=result, elapsed_ps=cpu.now_ps - start, label=self.name)
+
+
+class _HwTwoSourceDma(_HwImageBase):
+    """Blend/fade via DMA: CPU byte-interleaves into a staging buffer first.
+
+    The interleaving is the "data preparation" row of Table 12 — a direct
+    consequence of the DMA transfer mode's block-data-layout restriction.
+    """
+
+    def run(self, system: System, a: np.ndarray, b: np.ndarray) -> RunResult:
+        _require_kernel(system, self.kernel_name)
+        dock = system.dock
+        if not hasattr(dock, "dma_write_block"):
+            raise KernelError(f"{system.name}: DMA image transfers need the PLB Dock")
+        if a.shape != b.shape:
+            raise KernelError("images must have the same shape")
+        cpu = system.cpu
+        start = cpu.now_ps
+
+        a_flat = np.asarray(a, dtype=np.uint8).ravel()
+        b_flat = np.asarray(b, dtype=np.uint8).ravel()
+        lanes = np.empty(a_flat.size * 2, dtype=np.uint8)
+        lanes[0::2] = a_flat
+        lanes[1::2] = b_flat
+        pad = (-lanes.size) % 8
+        staged = np.concatenate([lanes, np.zeros(pad, dtype=np.uint8)]) if pad else lanes
+
+        # Data preparation: read both sources, interleave with a tight
+        # rlwimi word loop, stream the staging buffer out with dcbz stores.
+        prep_start = cpu.now_ps
+        charge_word_reads(system, memmap.STAGE_INPUT, (a_flat.size + 3) // 4)
+        charge_word_reads(system, memmap.STAGE_AUX, (b_flat.size + 3) // 4)
+        cpu.execute_cycles(PREP_DMA_CYCLES_PER_PIXEL * a_flat.size)
+        charge_word_writes(system, memmap.STAGE_BITSTREAM, (staged.size + 3) // 4, allocate=False)
+        system.ext_mem.load(memmap.STAGE_BITSTREAM, staged)
+        prep_ps = cpu.now_ps - prep_start
+
+        n_words = staged.size // 8
+        cursor = cpu.now_ps
+        remaining = n_words
+        src = memmap.STAGE_BITSTREAM
+        dst = memmap.STAGE_OUTPUT
+        cpu.execute_cycles(80)
+        while remaining:
+            chunk = min(remaining, dock.fifo.depth)
+            cursor = dock.dma_write_block(cursor, src, chunk)
+            cursor, drained = dock.dma_drain_fifo(cursor, dst)
+            src += chunk * 8
+            dst += drained * 8
+            remaining -= chunk
+        cpu.take_interrupt(cursor)
+        cpu.return_from_interrupt()
+        out = system.ext_mem.dump(memmap.STAGE_OUTPUT, a_flat.size + (-a_flat.size) % 8)
+        result = out[: a_flat.size].reshape(np.asarray(a).shape)
+        return RunResult(
+            result=result,
+            elapsed_ps=cpu.now_ps - start,
+            label=self.name,
+            breakdown={"data_preparation_ps": prep_ps},
+        )
+
+
+class HwBlendDma(_HwTwoSourceDma):
+    kernel_name = "blend"
+    name = "blend/hw-dma"
+
+
+class HwFadeDma(_HwTwoSourceDma):
+    kernel_name = "fade"
+    name = "fade/hw-dma"
+
+
+class HwFadeSequence:
+    """Fade-in/fade-out: one configuration, many factor values.
+
+    "The fade-in-fade-out effect is obtained by processing the source
+    images successively for different values of f."  The kernel's factor
+    lives in a control register, so stepping ``f`` costs one dock write —
+    no reconfiguration — which is exactly the kind of reuse that makes the
+    one-time configuration cost worth paying.
+    """
+
+    name = "fade-sequence/hw"
+
+    def __init__(self, pio: bool = True) -> None:
+        self._driver = HwFadePio() if pio else HwFadeDma()
+        self.pio = pio
+
+    def run(self, system: System, a: np.ndarray, b: np.ndarray, factors) -> RunResult:
+        from ..kernels.image_ops import PARAM_OFFSET
+
+        _require_kernel(system, "fade")
+        cpu = system.cpu
+        start = cpu.now_ps
+        frames = []
+        breakdown = {}
+        for factor in factors:
+            if not 0.0 <= factor <= 1.0:
+                raise KernelError(f"fade factor {factor} outside [0, 1]")
+            cpu.io_write(system.dock.base + PARAM_OFFSET, round(factor * 256))
+            result = self._driver.run(system, a, b)
+            frames.append(result.result)
+            for key, value in result.breakdown.items():
+                breakdown[key] = breakdown.get(key, 0) + value
+        return RunResult(
+            result=frames,
+            elapsed_ps=cpu.now_ps - start,
+            label=self.name,
+            breakdown=breakdown,
+        )

@@ -1,0 +1,109 @@
+"""Full (boot-time) configuration vs run-time partial reconfiguration.
+
+Both systems boot from a *full* bitstream loaded through the external
+configuration port (SelectMAP, byte-wide at configuration-clock rate)
+before any of the run-time machinery exists.  Comparing that against the
+HWICAP partial path makes the real trade-off explicit:
+
+* the external full load has far higher raw bandwidth (dedicated port,
+  no OPB in the way) — but it wipes the whole device: CPU state, BRAM
+  contents, I/O, the lot, and needs an external agent to drive it;
+* the internal partial load crawls through the OPB HWICAP — but the
+  system keeps running while its dynamic area is swapped, which is the
+  entire point of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitstream.bitstream import Bitstream, BitstreamKind
+from ..bitstream.generator import full_configuration_frames
+from ..fabric.config_memory import ConfigMemory
+from .system import System
+
+#: SelectMAP configuration clock (byte-wide port), as on typical boards.
+SELECTMAP_HZ = 50_000_000
+#: Device init/startup sequences around the data load.
+BOOT_OVERHEAD_PS = 2_000_000_000  # 2 ms
+
+
+@dataclass(frozen=True)
+class BootReport:
+    """Timing/size of a full boot-time configuration."""
+
+    device_name: str
+    frame_count: int
+    byte_size: int
+    load_ps: int
+    #: What a full reload costs beyond the data: everything running dies.
+    destroys_system_state: bool = True
+
+    @property
+    def load_ms(self) -> float:
+        return self.load_ps / 1e9
+
+
+def full_bitstream(system: System) -> Bitstream:
+    """The complete boot configuration of the system's static design."""
+    memory = ConfigMemory(system.device)
+    frames = full_configuration_frames(memory, seed=f"static:{system.name}")
+    return Bitstream(
+        device_name=system.device.name,
+        kind=BitstreamKind.FULL,
+        frames=sorted(frames.items()),
+        description=f"boot configuration of {system.name}",
+    )
+
+
+def boot_time_report(system: System) -> BootReport:
+    """Size and external-port load time of the full configuration."""
+    stream = full_bitstream(system)
+    nbytes = stream.byte_size
+    load_ps = round(nbytes * 1e12 / SELECTMAP_HZ) + BOOT_OVERHEAD_PS
+    return BootReport(
+        device_name=system.device.name,
+        frame_count=stream.frame_count,
+        byte_size=nbytes,
+        load_ps=load_ps,
+    )
+
+
+@dataclass(frozen=True)
+class ReconfigComparison:
+    """Full external reload vs partial internal reconfiguration."""
+
+    boot: BootReport
+    partial_byte_size: int
+    partial_load_ps: int
+
+    @property
+    def bandwidth_ratio(self) -> float:
+        """How much faster the external port moves bytes (>1 expected)."""
+        partial_bw = self.partial_byte_size / self.partial_load_ps
+        full_bw = self.boot.byte_size / (self.boot.load_ps - BOOT_OVERHEAD_PS)
+        return full_bw / partial_bw
+
+    @property
+    def partial_keeps_system_alive(self) -> bool:
+        return True
+
+    def summary(self) -> str:
+        return (
+            f"full reload: {self.boot.byte_size / 1024:.0f} KiB in "
+            f"{self.boot.load_ms:.1f} ms (system state destroyed) | "
+            f"partial: {self.partial_byte_size / 1024:.0f} KiB in "
+            f"{self.partial_load_ps / 1e9:.1f} ms (system keeps running); "
+            f"external port bandwidth ~{self.bandwidth_ratio:.0f}x higher"
+        )
+
+
+def compare_reconfiguration(system: System, manager, kernel_name: str) -> ReconfigComparison:
+    """Measure both paths on a live system (loads ``kernel_name``)."""
+    boot = boot_time_report(system)
+    result = manager.load(kernel_name)
+    return ReconfigComparison(
+        boot=boot,
+        partial_byte_size=result.byte_size,
+        partial_load_ps=result.elapsed_ps,
+    )

@@ -1,0 +1,45 @@
+"""System memory map (EDK-style, shared by both systems).
+
+One flat map keeps application code identical across the two systems; only
+*which bus* serves each range differs (the paper's figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+#: External memory (SRAM on the 32-bit system, DDR on the 64-bit one).
+EXT_MEM_BASE = 0x0000_0000
+SRAM_SIZE = 32 * 1024 * 1024  # 32 MB (32-bit system board)
+DDR_SIZE = 512 * 1024 * 1024  # 512 MB (64-bit system board)
+
+#: On-chip BRAM (boot code, stack, small tables).
+BRAM_BASE = 0xFFFF_0000
+BRAM_SIZE = 64 * 1024
+
+#: The dock's address window (data + control registers).
+DOCK_BASE = 0x8000_0000
+DOCK_SIZE = 0x1_0000
+
+#: OPB peripherals.
+HWICAP_BASE = 0x9000_0000
+HWICAP_SIZE = 0x1000
+UART_BASE = 0xA000_0000
+UART_SIZE = 0x1000
+GPIO_BASE = 0xA001_0000
+GPIO_SIZE = 0x1000
+INTC_BASE = 0xA002_0000
+INTC_SIZE = 0x1000
+
+#: Bridge windows on the 32-bit system's PLB (everything OPB-side).
+BRIDGE32_IO_BASE = DOCK_BASE
+BRIDGE32_IO_SIZE = 0x3000_0000  # covers dock + hwicap + uart + gpio
+
+#: Bridge window on the 64-bit system's PLB (peripherals only; the dock
+#: and external memory sit directly on the PLB there).
+BRIDGE64_IO_BASE = HWICAP_BASE
+BRIDGE64_IO_SIZE = 0x2000_0000  # covers hwicap + uart + intc
+
+#: Default staging areas inside external memory for workloads.
+STAGE_INPUT = 0x0010_0000
+STAGE_AUX = 0x0080_0000
+STAGE_OUTPUT = 0x0100_0000
+STAGE_BITSTREAM = 0x0180_0000

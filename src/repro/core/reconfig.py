@@ -1,0 +1,235 @@
+"""Run-time reconfiguration manager.
+
+Orchestrates the full swap of a dynamic-area module:
+
+1. look the kernel up in the component library (synthesised for this
+   system's bus width and region height);
+2. run **BitLinker** against the system's static baseline to produce a
+   complete partial bitstream (or a differential one, for the ablation);
+3. stage the bitstream in external memory and feed it word by word through
+   the **OPB HWICAP** — the part that costs simulated time;
+4. update the device's configuration memory, verify the static rows were
+   not disturbed, and attach the kernel model to the dock.
+
+The returned :class:`ReconfigResult` carries the bitstream size and load
+time, which is how the complete-vs-differential trade-off ("the side
+effect of increasing the configuration time") is quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..bitstream.bitlinker import Placement
+from ..bitstream.bitstream import Bitstream
+from ..bitstream.generator import verify_preserves_static
+from ..dock.interface import StreamingKernel
+from ..errors import ReconfigurationError, ResourceError
+from ..fabric.config_memory import ConfigMemory
+from ..kernels.base import BaseKernel
+from ..sw.costmodel import charge_word_reads
+from . import memmap
+from .system import System
+
+
+@dataclass
+class ReconfigResult:
+    """Outcome of one dynamic reconfiguration."""
+
+    kernel_name: str
+    kind: str
+    frame_count: int
+    word_count: int
+    elapsed_ps: int
+    #: Time spent verifying by ICAP readback (0 when verify was off).
+    verify_ps: int = 0
+    frames_verified: int = 0
+
+    @property
+    def byte_size(self) -> int:
+        return self.word_count * 4
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_ps / 1e9
+
+
+class ReconfigManager:
+    """Kernel library + loader for one dynamic region.
+
+    By default it manages the system's primary region/dock; pass an
+    explicit ``slot`` (see :mod:`repro.core.multiregion`) to manage an
+    additional dynamic area on the same device.
+    """
+
+    def __init__(self, system: System, slot=None) -> None:
+        self.system = system
+        self.region = slot.region if slot is not None else system.region
+        self.dock = slot.dock if slot is not None else system.dock
+        self.bitlinker = slot.bitlinker if slot is not None else system.bitlinker
+        self._library: Dict[str, Tuple[BaseKernel, object]] = {}
+        self.active: Optional[str] = None
+        self.history: list[ReconfigResult] = []
+
+    # -- library ------------------------------------------------------------
+    def register(self, kernel: BaseKernel) -> None:
+        """Synthesise the kernel's component for this system and fit-check it.
+
+        Raises :class:`ResourceError` when the component cannot fit the
+        dynamic region — the SHA-1-on-the-32-bit-system case.
+        """
+        component = kernel.make_component(self.system.bus_width, self.region.rect.height)
+        if component.width > self.region.rect.width:
+            raise ResourceError(
+                f"{kernel.name}: component is {component.width} CLB columns wide; region "
+                f"{self.region.name!r} has only {self.region.rect.width}"
+            )
+        component.total_resources.require_fit(
+            self.region.resources, what=f"component {component.name!r}"
+        )
+        self._library[kernel.name] = (kernel, component)
+
+    def fits(self, kernel: BaseKernel) -> bool:
+        """Non-throwing fit check."""
+        try:
+            component = kernel.make_component(
+                self.system.bus_width, self.region.rect.height
+            )
+        except Exception:
+            return False
+        return (
+            component.width <= self.region.rect.width
+            and component.total_resources.fits_within(self.region.resources)
+        )
+
+    def kernel(self, name: str) -> StreamingKernel:
+        return self._library[name][0]
+
+    # -- loading --------------------------------------------------------------
+    def load(
+        self, name: str, differential: bool = False, verify: bool = False,
+        verify_samples: int = 8,
+    ) -> ReconfigResult:
+        """Reconfigure the dynamic area with kernel ``name``.
+
+        ``verify=True`` reads back a sample of the written frames through
+        the ICAP (RCFG/FDRO path) and compares them with the bitstream —
+        the belt-and-braces flow a production loader would use; the extra
+        time is reported separately in the result.
+        """
+        if name not in self._library:
+            raise ReconfigurationError(
+                f"kernel {name!r} not registered with {self.system.name}"
+            )
+        kernel, component = self._library[name]
+        placements = [Placement(component, col_offset=0, row_offset=0)]
+        if differential:
+            bitstream = self.bitlinker.link_differential(
+                placements, current=self.system.config_memory
+            )
+        else:
+            bitstream = self.bitlinker.link(placements)
+
+        # Snapshot the pre-load state so the preservation check also holds
+        # when other dynamic regions already carry kernels.
+        before = ConfigMemory(self.system.device)
+        before.restore(self.system.config_memory.snapshot())
+
+        elapsed = self._feed_through_icap(bitstream)
+        verify_ps = 0
+        frames_verified = 0
+        if verify:
+            verify_ps, frames_verified = self._verify_by_readback(bitstream, verify_samples)
+            elapsed += verify_ps
+
+        # Verify the partial configuration did not disturb anything outside
+        # this region (static logic or other dynamic areas).
+        if not verify_preserves_static(before, self.system.config_memory, self.region):
+            raise ReconfigurationError(
+                f"loading {name!r} disturbed configuration outside the region"
+            )
+
+        self.dock.attach_kernel(kernel)
+        self.active = name
+        result = ReconfigResult(
+            kernel_name=name,
+            kind=bitstream.kind.value,
+            frame_count=bitstream.frame_count,
+            word_count=bitstream.word_count,
+            elapsed_ps=elapsed,
+            verify_ps=verify_ps,
+            frames_verified=frames_verified,
+        )
+        self.history.append(result)
+        return result
+
+    def _verify_by_readback(self, bitstream: Bitstream, samples: int) -> Tuple[int, int]:
+        """Read back evenly spaced frames via the ICAP and compare."""
+        from ..periph.hwicap import CTRL_READBACK, REG_CONTROL, REG_FAR, REG_RDATA
+
+        cpu = self.system.cpu
+        base = self.system.hwicap.base
+        start = cpu.now_ps
+        frames = bitstream.frames
+        if not frames:
+            return 0, 0
+        step = max(1, len(frames) // samples)
+        checked = 0
+        for index in range(0, len(frames), step):
+            address, expected = frames[index]
+            cpu.io_write(base + REG_FAR, address.packed())
+            cpu.io_write(base + REG_CONTROL, CTRL_READBACK)
+            words_per_frame = len(expected)
+            first = cpu.io_read(base + REG_RDATA)
+            if first != int(expected[0]):
+                raise ReconfigurationError(
+                    f"readback mismatch at {address}: {first:#010x} != {int(expected[0]):#010x}"
+                )
+            # Remaining words: charge time as a batch, compare functionally.
+            rest = self.system.hwicap._readback
+            if rest != [int(w) for w in expected[1:]]:
+                raise ReconfigurationError(f"readback mismatch within {address}")
+            cpu.io_read_batch(base + 0x4, words_per_frame - 1)  # STATUS-priced reads
+            self.system.hwicap._readback = []
+            checked += 1
+        return cpu.now_ps - start, checked
+
+    def clear(self) -> ReconfigResult:
+        """Blank the dynamic region (complete partial bitstream of zeros)."""
+        bitstream = self.bitlinker.clear_bitstream()
+        elapsed = self._feed_through_icap(bitstream)
+        self.dock.detach_kernel()
+        self.active = None
+        result = ReconfigResult(
+            kernel_name="<clear>",
+            kind=bitstream.kind.value,
+            frame_count=bitstream.frame_count,
+            word_count=bitstream.word_count,
+            elapsed_ps=elapsed,
+        )
+        self.history.append(result)
+        return result
+
+    # -- timing ---------------------------------------------------------------
+    def _feed_through_icap(self, bitstream: Bitstream) -> int:
+        """Charge the word-by-word HWICAP feed; deliver the words functionally."""
+        words = bitstream.to_words()
+        cpu = self.system.cpu
+        start = cpu.now_ps
+        if len(words):
+            # The controlling software reads the staged bitstream from
+            # external memory and stores each word to the HWICAP FIFO.
+            charge_word_reads(self.system, memmap.STAGE_BITSTREAM, len(words))
+            # Calibrate one ICAP data write (a commit of an empty buffer has
+            # the same wait states as a data-word push), then scale.
+            probe_start = cpu.now_ps
+            cpu.io_write(self.system.hwicap.base + 0x8, 0)  # REG_CONTROL, empty commit
+            per_word = cpu.now_ps - probe_start
+            cpu.now_ps += per_word * (len(words) - 1)
+            # Per-word loop overhead (pointer, compare, branch).
+            cpu.execute_cycles(4 * len(words))
+        self.system.hwicap.load_words(words)
+        return cpu.now_ps - start

@@ -1,0 +1,149 @@
+"""PPC405 cache model.
+
+16 KB, 2-way set-associative, 32-byte lines (8 words), write-back — for
+both instruction and data sides.  The model keeps **tags only**: it decides
+hit/miss and dirty evictions; functional data lives in the memory models.
+
+Two interfaces:
+
+* :meth:`access` — stateful, per-reference.  Used by the CPU's
+  ``load_word``/``store_word`` and by the unit tests.
+* :meth:`stream` — analytic batch for long sequential sweeps (the common
+  pattern in all of the paper's workloads), returning miss/eviction counts
+  without a per-line Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.stats import StatsGroup
+from ..errors import SimulationError
+
+
+@dataclass
+class _Line:
+    tag: int
+    dirty: bool
+
+
+class Cache:
+    """Tag-only set-associative cache."""
+
+    def __init__(
+        self,
+        name: str = "dcache",
+        size_bytes: int = 16 * 1024,
+        line_bytes: int = 32,
+        ways: int = 2,
+    ) -> None:
+        if size_bytes % (line_bytes * ways):
+            raise SimulationError("cache geometry must divide evenly")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.set_count = size_bytes // (line_bytes * ways)
+        # Per-set list of lines in LRU order (front = most recent).
+        self._sets: Dict[int, List[_Line]] = {}
+        self.stats = StatsGroup(name)
+
+    # -- address mapping ---------------------------------------------------
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.set_count, line // self.set_count
+
+    def line_base(self, address: int) -> int:
+        """Address of the first byte of the line containing ``address``."""
+        return (address // self.line_bytes) * self.line_bytes
+
+    # -- stateful access ---------------------------------------------------------
+    def access(self, address: int, write: bool = False) -> Tuple[bool, Optional[int]]:
+        """One reference.  Returns ``(hit, dirty_eviction_address)``.
+
+        On a miss the line is allocated (read- and write-allocate, as on
+        the 405); if the victim is dirty its base address is returned so
+        the CPU can charge a write-back burst.
+        """
+        index, tag = self._index_tag(address)
+        lines = self._sets.setdefault(index, [])
+        for position, line in enumerate(lines):
+            if line.tag == tag:
+                lines.insert(0, lines.pop(position))
+                if write:
+                    line.dirty = True
+                self.stats.count("hits")
+                return True, None
+        # Miss: allocate, possibly evicting the LRU way.
+        self.stats.count("misses")
+        evicted: Optional[int] = None
+        if len(lines) >= self.ways:
+            victim = lines.pop()
+            if victim.dirty:
+                victim_line = victim.tag * self.set_count + index
+                evicted = victim_line * self.line_bytes
+                self.stats.count("dirty_evictions")
+        lines.insert(0, _Line(tag=tag, dirty=write))
+        return False, evicted
+
+    def contains(self, address: int) -> bool:
+        """Tag probe without touching LRU state."""
+        index, tag = self._index_tag(address)
+        return any(line.tag == tag for line in self._sets.get(index, ()))
+
+    def invalidate(self) -> None:
+        """Drop every line (no write-backs — use flush accounting first)."""
+        self._sets.clear()
+        self.stats.count("invalidates")
+
+    def dirty_line_count(self) -> int:
+        return sum(1 for lines in self._sets.values() for line in lines if line.dirty)
+
+    # -- analytic batch ------------------------------------------------------------
+    def stream(self, start: int, nbytes: int, write: bool = False) -> Tuple[int, int]:
+        """Sequential sweep over [start, start+nbytes).
+
+        Returns ``(misses, dirty_evictions)`` and updates tag state to the
+        post-sweep footprint (an approximation: the trailing
+        ``size_bytes`` of the stream resident, which is exact for
+        sweeps longer than the cache and for cold caches).
+        """
+        if nbytes <= 0:
+            return 0, 0
+        first_line = start // self.line_bytes
+        last_line = (start + nbytes - 1) // self.line_bytes
+        line_count = last_line - first_line + 1
+
+        # Count how many of the touched lines are already resident.
+        resident = 0
+        probe_lines = min(line_count, self.set_count * self.ways)
+        for line_number in range(first_line, first_line + probe_lines):
+            if self.contains(line_number * self.line_bytes):
+                resident += 1
+        misses = line_count - resident if line_count <= probe_lines else line_count - resident
+
+        # Evictions: a long write sweep through a write-back cache pushes
+        # out whatever dirty lines were resident, then starts evicting its
+        # own dirty lines once the sweep exceeds the cache capacity.
+        dirty_before = self.dirty_line_count() if misses else 0
+        own_dirty_evicted = 0
+        if write:
+            capacity_lines = self.set_count * self.ways
+            if line_count > capacity_lines:
+                own_dirty_evicted = line_count - capacity_lines
+        evictions = min(dirty_before, misses) + own_dirty_evicted
+
+        # Update state to the post-sweep footprint.  The per-line access()
+        # calls below are bookkeeping, not extra references, so shield the
+        # hit/miss statistics around them.
+        saved = {name: self.stats.counter(name).value for name in ("hits", "misses", "dirty_evictions")}
+        keep_lines = min(line_count, self.set_count * self.ways)
+        for line_number in range(last_line - keep_lines + 1, last_line + 1):
+            self.access(line_number * self.line_bytes, write=write)
+        for name, value in saved.items():
+            self.stats.counter(name).value = value
+        self.stats.count("misses", misses)
+        self.stats.count("dirty_evictions", evictions)
+        self.stats.count("stream_bytes", nbytes)
+        return misses, evictions

@@ -1,0 +1,105 @@
+"""PPC405 instruction-level cost model.
+
+The PowerPC 405 is a scalar, in-order, 5-stage core: most integer ops
+retire at 1 CPI, multiplies take longer, and taken branches pay a pipeline
+refill (there is no branch predictor worth the name).  Software tasks are
+described as :class:`InstructionMix` objects — counts of instructions per
+iteration of their inner loop — from which the CPU model computes pure
+execution time.  Memory-system time (cache misses, uncached I/O) is added
+separately by the CPU model, so a mix's ``load``/``store`` entries cost
+only their cache-hit pipeline slot here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Cycles per instruction class (PPC405 documented behaviour).
+CPI_ALU = 1
+CPI_MUL = 4
+CPI_LOAD_HIT = 1
+CPI_STORE_HIT = 1
+CPI_BRANCH_NOT_TAKEN = 1
+CPI_BRANCH_TAKEN = 3
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Instruction counts for one iteration of a loop body.
+
+    ``branches`` counts conditional/unconditional branches;
+    ``taken_fraction`` is how many of them are taken (loop back-edges are
+    essentially always taken).
+    """
+
+    alu: float = 0.0
+    mul: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branches: float = 0.0
+    taken_fraction: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        for name in ("alu", "mul", "load", "store", "branches"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"instruction count {name} must be non-negative")
+        if not 0.0 <= self.taken_fraction <= 1.0:
+            raise ValueError("taken_fraction must be in [0, 1]")
+
+    # -- aggregate ---------------------------------------------------------
+    @property
+    def instructions(self) -> float:
+        return self.alu + self.mul + self.load + self.store + self.branches
+
+    def cycles(self) -> float:
+        """Pipeline cycles for one iteration, all memory hits."""
+        taken = self.branches * self.taken_fraction
+        not_taken = self.branches - taken
+        return (
+            self.alu * CPI_ALU
+            + self.mul * CPI_MUL
+            + self.load * CPI_LOAD_HIT
+            + self.store * CPI_STORE_HIT
+            + taken * CPI_BRANCH_TAKEN
+            + not_taken * CPI_BRANCH_NOT_TAKEN
+        )
+
+    # -- algebra ---------------------------------------------------------------
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        total_branches = self.branches + other.branches
+        if total_branches:
+            taken = self.branches * self.taken_fraction + other.branches * other.taken_fraction
+            fraction = taken / total_branches
+        else:
+            fraction = 1.0
+        return InstructionMix(
+            alu=self.alu + other.alu,
+            mul=self.mul + other.mul,
+            load=self.load + other.load,
+            store=self.store + other.store,
+            branches=total_branches,
+            taken_fraction=fraction,
+            label=self.label or other.label,
+        )
+
+    def __mul__(self, factor: float) -> "InstructionMix":
+        if factor < 0:
+            raise ValueError("cannot scale a mix by a negative factor")
+        return replace(
+            self,
+            alu=self.alu * factor,
+            mul=self.mul * factor,
+            load=self.load * factor,
+            store=self.store * factor,
+            branches=self.branches * factor,
+        )
+
+    __rmul__ = __mul__
+
+
+#: The bookkeeping of a counted loop: index increment, compare, back-edge.
+LOOP_OVERHEAD = InstructionMix(alu=2, branches=1, taken_fraction=1.0, label="loop-overhead")
+
+#: A C function call/return pair (prologue + epilogue, save/restore).
+CALL_OVERHEAD = InstructionMix(alu=6, load=2, store=2, branches=2, label="call-overhead")

@@ -1,0 +1,44 @@
+"""Dock wrappers connecting the dynamic region to the bus system."""
+
+from .dma import Descriptor, SgDmaEngine
+from .fifo import PAPER_FIFO_DEPTH, OutputFifo
+from .interface import StreamingKernel, dock_ports, kernel_ports
+from .opb_dock import EMPTY_READ_VALUE, OpbDock
+from .plb_dock import (
+    CTRL_FIFO_TO_MEM,
+    CTRL_MEM_TO_DOCK,
+    REG_DATA,
+    REG_DMA_CTRL,
+    REG_DMA_DST,
+    REG_DMA_LEN,
+    REG_DMA_SRC,
+    REG_FIFO_COUNT,
+    REG_STATUS,
+    STATUS_DMA_BUSY,
+    STATUS_FIFO_FULL,
+    PlbDock,
+)
+
+__all__ = [
+    "CTRL_FIFO_TO_MEM",
+    "CTRL_MEM_TO_DOCK",
+    "Descriptor",
+    "EMPTY_READ_VALUE",
+    "OpbDock",
+    "OutputFifo",
+    "PAPER_FIFO_DEPTH",
+    "PlbDock",
+    "REG_DATA",
+    "REG_DMA_CTRL",
+    "REG_DMA_DST",
+    "REG_DMA_LEN",
+    "REG_DMA_SRC",
+    "REG_FIFO_COUNT",
+    "REG_STATUS",
+    "STATUS_DMA_BUSY",
+    "STATUS_FIFO_FULL",
+    "SgDmaEngine",
+    "StreamingKernel",
+    "dock_ports",
+    "kernel_ports",
+]

@@ -1,0 +1,81 @@
+"""The PLB Dock's output FIFO.
+
+Results produced by the dynamic area are buffered here before a DMA burst
+moves them to main memory.  The paper's implementation stores up to
+**2047 64-bit values**; block-interleaved transfers run the write channel
+until the FIFO fills, then pause while it drains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List
+
+from ..engine.stats import StatsGroup
+from ..errors import TransferError
+
+#: Depth of the paper's output FIFO (in 64-bit entries).
+PAPER_FIFO_DEPTH = 2047
+
+
+class OutputFifo:
+    """Bounded FIFO of ``width_bits``-wide words."""
+
+    def __init__(self, depth: int = PAPER_FIFO_DEPTH, width_bits: int = 64, name: str = "out_fifo") -> None:
+        if depth <= 0:
+            raise TransferError("FIFO depth must be positive")
+        if width_bits not in (32, 64):
+            raise TransferError(f"unsupported FIFO width {width_bits}")
+        self.depth = depth
+        self.width_bits = width_bits
+        self.name = name
+        self._mask = (1 << width_bits) - 1
+        self._entries: deque[int] = deque()
+        self.stats = StatsGroup(name)
+        self.overflows = 0
+
+    # -- state -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free(self) -> int:
+        return self.depth - len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    # -- data ----------------------------------------------------------------
+    def push(self, value: int) -> None:
+        """Append one word; raises on overflow (and counts it — a real
+        design would drop data, which is always a bug worth surfacing)."""
+        if self.full:
+            self.overflows += 1
+            raise TransferError(f"{self.name}: overflow at depth {self.depth}")
+        self._entries.append(int(value) & self._mask)
+        self.stats.count("pushes")
+
+    def push_many(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.push(value)
+
+    def pop(self) -> int:
+        if not self._entries:
+            raise TransferError(f"{self.name}: pop from empty FIFO")
+        self.stats.count("pops")
+        return self._entries.popleft()
+
+    def pop_many(self, count: int) -> List[int]:
+        if count > len(self._entries):
+            raise TransferError(
+                f"{self.name}: requested {count} words, only {len(self._entries)} present"
+            )
+        return [self.pop() for _ in range(count)]
+
+    def clear(self) -> None:
+        self._entries.clear()

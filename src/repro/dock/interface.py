@@ -1,0 +1,78 @@
+"""The dock <-> dynamic-region connection interface.
+
+Both docks talk to the dynamic region through two unidirectional channels
+(write and read), each as wide as the dock's bus, plus a write-strobe
+signal that modules in the region can use as a clock enable — implemented
+physically with the LUT-based bus macros of
+:mod:`repro.bitstream.busmacro`.
+
+This module defines the dock-side port set (for BitLinker validation) and
+the :class:`StreamingKernel` protocol every hardware-kernel model
+implements so a dock can drive it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple, runtime_checkable
+
+from ..bitstream.busmacro import Direction, Port, Side, standard_data_macros
+
+
+def dock_ports(bus_width: int) -> Tuple[Port, ...]:
+    """Ports the dock exposes at the dynamic region's left edge.
+
+    The dock sits in the static area to the region's left, so its ports
+    face RIGHT; directions are from the dock's point of view (it *drives*
+    the write channel and the control strobe, and *receives* the read
+    channel).
+    """
+    write, read, ctrl = standard_data_macros(bus_width)
+    return (
+        Port(macro=write, side=Side.RIGHT, direction=Direction.OUT),
+        Port(macro=read, side=Side.RIGHT, direction=Direction.IN),
+        Port(macro=ctrl, side=Side.RIGHT, direction=Direction.OUT),
+    )
+
+
+def kernel_ports(bus_width: int) -> Tuple[Port, ...]:
+    """The matching component-side ports (left edge of the component)."""
+    write, read, ctrl = standard_data_macros(bus_width)
+    return (
+        Port(macro=write, side=Side.LEFT, direction=Direction.IN),
+        Port(macro=read, side=Side.LEFT, direction=Direction.OUT),
+        Port(macro=ctrl, side=Side.LEFT, direction=Direction.IN),
+    )
+
+
+@runtime_checkable
+class StreamingKernel(Protocol):
+    """Functional model of a module loaded into the dynamic region.
+
+    The dock delivers each bus write via :meth:`consume` (the write-strobe
+    clock-enable pattern from the paper), then collects any completed
+    output words via :meth:`produce`.  Register-style results (hash
+    digests, status words) are fetched with :meth:`read_register`.
+    """
+
+    #: Human-readable kernel name.
+    name: str
+
+    def reset(self) -> None:
+        """Return to the post-configuration state."""
+        ...
+
+    def consume(self, value: int, width_bits: int, offset: int = 0) -> None:
+        """One write-channel word arrives (width = dock bus width).
+
+        ``offset`` is the byte offset within the dock's data window, letting
+        kernels expose control registers next to the data port.
+        """
+        ...
+
+    def produce(self) -> List[int]:
+        """Drain output words completed since the last call."""
+        ...
+
+    def read_register(self, offset: int) -> int:
+        """Read a result/status register (byte offset within the window)."""
+        ...

@@ -1,0 +1,108 @@
+"""OPB Dock: the 32-bit system's dynamic-region wrapper.
+
+An OPB slave owning a fixed address window.  It decodes addresses, stores
+incoming data (so it stays available to the region between writes), pulses
+the write-strobe clock-enable into the region, and returns region outputs
+on reads — all through the two 32-bit unidirectional channels of the
+connection interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from ..bus.transaction import Op, Transaction
+from ..engine.stats import StatsGroup
+from ..errors import KernelError
+from ..fabric.resources import ResourceVector
+from .interface import StreamingKernel, dock_ports
+
+#: Value returned when reading with no kernel configured (floating bus).
+EMPTY_READ_VALUE = 0xDEADC0DE
+
+
+class OpbDock:
+    """Wrapper module connecting the dynamic region to the OPB."""
+
+    WIDTH_BITS = 32
+    #: Slave wait states: writes latch immediately, reads are registered in
+    #: the wrapper and muxed through the connection interface.
+    WRITE_WAIT = 0
+    READ_WAIT = 3
+    #: Fabric cost (Table 1 line item).
+    RESOURCES = ResourceVector(slices=143)
+
+    def __init__(self, base: int, name: str = "opb_dock") -> None:
+        self.base = base
+        self.name = name
+        self.stats = StatsGroup(name)
+        self.kernel: Optional[StreamingKernel] = None
+        #: Last word written, held for the region between write strobes.
+        self.write_latch = 0
+        #: Output words produced by the kernel awaiting PIO reads.
+        self._output: Deque[int] = deque()
+
+    # -- region management ------------------------------------------------
+    @property
+    def ports(self):
+        """Dock-side bus-macro ports (for BitLinker validation)."""
+        return dock_ports(self.WIDTH_BITS)
+
+    def attach_kernel(self, kernel: StreamingKernel) -> None:
+        """Connect the module just configured into the region."""
+        self.kernel = kernel
+        self._output.clear()
+        kernel.reset()
+        self.stats.count("kernels_attached")
+
+    def detach_kernel(self) -> None:
+        self.kernel = None
+        self._output.clear()
+
+    @property
+    def pending_outputs(self) -> int:
+        return len(self._output)
+
+    def collect_outputs(self) -> int:
+        """Pull any spontaneously produced kernel output into the read path.
+
+        Models the region-side handshake for source-style kernels that emit
+        data without a preceding write strobe; returns words collected.
+        """
+        if self.kernel is None:
+            return 0
+        words = self.kernel.produce()
+        for word in words:
+            self._output.append(word & 0xFFFFFFFF)
+        return len(words)
+
+    # -- bus slave ------------------------------------------------------------
+    def access(self, txn: Transaction, when_ps: int) -> Tuple[int, Any]:
+        if txn.size_bytes * 8 > self.WIDTH_BITS:
+            raise KernelError(f"{self.name}: {txn.size_bytes * 8}-bit beat on a 32-bit dock")
+        offset = txn.address - self.base
+        if txn.op is Op.WRITE:
+            payload = txn.data if isinstance(txn.data, (list, tuple)) else [txn.data]
+            for value in payload:
+                self._write_word(offset, int(value) if value is not None else 0)
+            return self.WRITE_WAIT * txn.beats, None
+        values = [self._read_word(offset) for _ in range(txn.beats)]
+        return self.READ_WAIT * txn.beats, values[0] if txn.beats == 1 else values
+
+    def _write_word(self, offset: int, value: int) -> None:
+        self.write_latch = value & 0xFFFFFFFF
+        self.stats.count("words_in")
+        if self.kernel is None:
+            return
+        self.kernel.consume(self.write_latch, self.WIDTH_BITS, offset)
+        for word in self.kernel.produce():
+            self._output.append(word & 0xFFFFFFFF)
+
+    def _read_word(self, offset: int) -> int:
+        self.stats.count("words_out")
+        if self._output:
+            return self._output.popleft()
+        if self.kernel is not None:
+            return self.kernel.read_register(offset) & 0xFFFFFFFF
+        return EMPTY_READ_VALUE

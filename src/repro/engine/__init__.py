@@ -1,0 +1,47 @@
+"""Discrete-event simulation engine.
+
+Integer-picosecond time base, clock domains, a small SimPy-style event
+kernel, and statistics groups used by every simulated component.
+"""
+
+from .clock import ClockDomain, mhz
+from .events import AllOf, AnyOf, Event, Process, Simulator, Timeout
+from .stats import Accumulator, Counter, StatsGroup
+from .time import (
+    PS_PER_MS,
+    PS_PER_NS,
+    PS_PER_S,
+    PS_PER_US,
+    format_time,
+    ns_from_ps,
+    ps_from_ns,
+    ps_from_s,
+    ps_from_us,
+    s_from_ps,
+    us_from_ps,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Accumulator",
+    "ClockDomain",
+    "Counter",
+    "Event",
+    "PS_PER_MS",
+    "PS_PER_NS",
+    "PS_PER_S",
+    "PS_PER_US",
+    "Process",
+    "Simulator",
+    "StatsGroup",
+    "Timeout",
+    "format_time",
+    "mhz",
+    "ns_from_ps",
+    "ps_from_ns",
+    "ps_from_s",
+    "ps_from_us",
+    "s_from_ps",
+    "us_from_ps",
+]

@@ -1,0 +1,80 @@
+"""Clock domains.
+
+A :class:`ClockDomain` converts between cycle counts and picoseconds for one
+synchronous island of the design (CPU, PLB, OPB, ...).  The paper's two
+systems differ precisely in these numbers (200/50/50 MHz vs 300/100/100 MHz),
+so clock domains are first-class objects shared by every timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from .time import PS_PER_S
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A fixed-frequency clock.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"cpu"``, ``"plb"``, ``"opb"``).
+    freq_hz:
+        Frequency in hertz.  Must divide 1e12 evenly enough that the period
+        rounds to a positive integer picosecond count.
+    """
+
+    name: str
+    freq_hz: int
+    period_ps: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise SimulationError(f"clock {self.name!r}: frequency must be positive")
+        period = round(PS_PER_S / self.freq_hz)
+        if period <= 0:
+            raise SimulationError(f"clock {self.name!r}: frequency too high for ps time base")
+        object.__setattr__(self, "period_ps", period)
+
+    @property
+    def freq_mhz(self) -> float:
+        """Frequency in MHz (for reports)."""
+        return self.freq_hz / 1e6
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Duration of ``cycles`` clock cycles, in integer picoseconds.
+
+        Fractional cycle counts are allowed (useful for average-rate models)
+        and rounded to the nearest picosecond.
+        """
+        return round(cycles * self.period_ps)
+
+    def ps_to_cycles(self, ps: int) -> float:
+        """How many cycles of this clock fit in ``ps`` picoseconds."""
+        return ps / self.period_ps
+
+    def next_edge(self, now_ps: int) -> int:
+        """Time of the first rising edge at or after ``now_ps``.
+
+        Used to model synchronisation of a transaction into this domain:
+        a request arriving mid-cycle waits for the next edge.
+        """
+        remainder = now_ps % self.period_ps
+        if remainder == 0:
+            return now_ps
+        return now_ps + (self.period_ps - remainder)
+
+    def sync_delay(self, now_ps: int) -> int:
+        """Picoseconds until the next rising edge (0 if on an edge)."""
+        return self.next_edge(now_ps) - now_ps
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}@{self.freq_mhz:g}MHz"
+
+
+def mhz(value: float) -> int:
+    """Convenience: ``mhz(50)`` -> 50_000_000 Hz."""
+    return round(value * 1e6)

@@ -1,0 +1,313 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small SimPy-style kernel:
+
+* :class:`Simulator` owns the event queue and the notion of *now*
+  (integer picoseconds, see :mod:`repro.engine.time`).
+* :class:`Event` is a one-shot occurrence that callbacks and processes can
+  wait on; it carries an optional value (or an exception).
+* :class:`Process` wraps a Python generator.  The generator *yields* either
+  an integer delay in picoseconds or an :class:`Event` (including another
+  process, or combinators :class:`AllOf` / :class:`AnyOf`), and is resumed
+  when the wait completes.
+
+This is enough to express the concurrency in the paper's 64-bit system —
+the CPU continuing to run while the scatter-gather DMA engine drains the
+dock's output FIFO, with an interrupt delivered on completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import ScheduleInPastError, SimulationError
+
+Callback = Callable[["Event"], None]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, is *triggered* (scheduled to fire), and
+    finally *processed*, at which point its callbacks run and waiting
+    processes resume.  Events may succeed with a value or fail with an
+    exception; a failing event re-raises inside any waiting process.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callback] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only after processing)."""
+        return self._processed and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with."""
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay_ps: int = 0) -> "Event":
+        """Schedule this event to fire successfully after ``delay_ps``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay_ps)
+        return self
+
+    def fail(self, exception: BaseException, delay_ps: int = 0) -> "Event":
+        """Schedule this event to fire with an exception after ``delay_ps``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(self, delay_ps)
+        return self
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "processed" if self._processed else "triggered" if self._triggered else "pending"
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay_ps: int, value: Any = None) -> None:
+        super().__init__(sim, name=f"timeout({delay_ps}ps)")
+        self.succeed(value=value, delay_ps=delay_ps)
+
+
+class AllOf(Event):
+    """Fires when all constituent events have fired.
+
+    Succeeds with the list of constituent values (in input order).  If any
+    constituent fails, this fails with the first failure.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="all_of")
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if child._exception is not None:
+            self.fail(child._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first constituent event fires.
+
+    Succeeds with ``(index, value)`` of the first event to complete.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="any_of")
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._events):
+            ev.callbacks.append(self._make_cb(idx))
+
+    def _make_cb(self, idx: int) -> Callback:
+        def _cb(child: Event) -> None:
+            if self._triggered:
+                return
+            if child._exception is not None:
+                self.fail(child._exception)
+            else:
+                self.succeed((idx, child._value))
+
+        return _cb
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process(Event):
+    """A generator-backed simulation process.
+
+    The wrapped generator yields integers (delays in ps) or events.  The
+    process itself is an event that fires when the generator returns; its
+    value is the generator's return value.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        # Kick off on a zero-delay event so creation order does not matter.
+        Timeout(sim, 0).callbacks.append(lambda ev: self._resume(None, None))
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.fail(err)
+            return
+
+        if isinstance(target, int):
+            if target < 0:
+                self._resume(None, ScheduleInPastError(f"negative delay {target}"))
+                return
+            target = Timeout(self.sim, target)
+        if not isinstance(target, Event):
+            self._resume(None, SimulationError(f"process yielded {target!r}; expected int delay or Event"))
+            return
+        if target._processed:
+            # Already done: resume immediately (but via the queue, to keep
+            # event ordering deterministic).
+            done = target
+            Timeout(self.sim, 0).callbacks.append(
+                lambda ev: self._resume(done._value, done._exception)
+            )
+        else:
+            target.callbacks.append(lambda ev: self._resume(ev._value, ev._exception))
+
+
+class Simulator:
+    """Event queue and simulated clock.
+
+    Typical use::
+
+        sim = Simulator()
+        def worker():
+            yield 1_000          # wait 1 ns
+            return 42
+        proc = sim.process(worker())
+        sim.run()
+        assert proc.value == 42
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: list[tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._processed_events = 0
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed (for engine statistics)."""
+        return self._processed_events
+
+    # -- construction helpers -------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay_ps: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay_ps`` from now."""
+        if delay_ps < 0:
+            raise ScheduleInPastError(f"negative delay {delay_ps}")
+        return Timeout(self, delay_ps, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Register a generator as a simulation process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when every input event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first input event fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay_ps: int) -> None:
+        if delay_ps < 0:
+            raise ScheduleInPastError(f"cannot schedule {delay_ps} ps in the past")
+        heapq.heappush(self._queue, (self._now + delay_ps, next(self._counter), event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("event queue is empty")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        self._processed_events += 1
+        event._process()
+
+    def run(self, until: Optional[Event | int] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be an :class:`Event` (run until it fires, return its
+        value — exceptions propagate), an integer time in picoseconds, or
+        ``None`` (run until the queue is empty).
+        """
+        if isinstance(until, Event):
+            while not until._processed and self._queue:
+                self.step()
+            if not until._processed:
+                raise SimulationError("simulation ended before the awaited event fired")
+            return until.value
+        if isinstance(until, int):
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = max(self._now, until)
+            return None
+        while self._queue:
+            self.step()
+        return None

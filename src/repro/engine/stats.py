@@ -1,0 +1,118 @@
+"""Statistics collection for simulation components.
+
+Every bus, CPU and peripheral keeps a :class:`StatsGroup` of named counters
+and accumulators.  The benchmark harness reads these to report utilisation
+and per-operation averages next to simulated wall-clock times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter.add amount must be non-negative")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class Accumulator:
+    """Accumulates a numeric quantity and tracks count/min/max for averages."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def add(self, amount: float) -> None:
+        self.total += amount
+        self.count += 1
+        if amount < self.minimum:
+            self.minimum = amount
+        if amount > self.maximum:
+            self.maximum = amount
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+class StatsGroup:
+    """A named collection of counters and accumulators.
+
+    Members are created on first use, so instrumentation sites can simply
+    call ``stats.count("reads")`` without declaring anything up front.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._accumulators: Dict[str, Accumulator] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (creating if needed) the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        """Get (creating if needed) the accumulator called ``name``."""
+        if name not in self._accumulators:
+            self._accumulators[name] = Accumulator(name)
+        return self._accumulators[name]
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).add(amount)
+
+    def record(self, name: str, amount: float) -> None:
+        """Add a sample to accumulator ``name``."""
+        self.accumulator(name).add(amount)
+
+    def get(self, name: str) -> float:
+        """Read a counter (or accumulator total) by name; 0 if absent."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._accumulators:
+            return self._accumulators[name].total
+        return 0
+
+    def reset(self) -> None:
+        """Reset every member to zero."""
+        for counter in self._counters.values():
+            counter.reset()
+        for acc in self._accumulators.values():
+            acc.reset()
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Iterate ``(name, value)`` over counters then accumulator totals."""
+        for name, counter in sorted(self._counters.items()):
+            yield name, counter.value
+        for name, acc in sorted(self._accumulators.items()):
+            yield name, acc.total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all members as a plain dict."""
+        return dict(self.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<StatsGroup {self.name} {self.as_dict()}>"

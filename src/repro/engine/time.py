@@ -1,0 +1,63 @@
+"""Simulation time base.
+
+All simulation time is kept as **integer picoseconds** so that mixed clock
+domains (e.g. a 200 MHz CPU next to a 50 MHz OPB) never accumulate floating
+point drift.  Helpers convert between human units and picoseconds.
+"""
+
+from __future__ import annotations
+
+#: Picoseconds per unit, for conversion helpers.
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def ps_from_ns(ns: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounded)."""
+    return round(ns * PS_PER_NS)
+
+
+def ps_from_us(us: float) -> int:
+    """Convert microseconds to integer picoseconds (rounded)."""
+    return round(us * PS_PER_US)
+
+
+def ps_from_s(seconds: float) -> int:
+    """Convert seconds to integer picoseconds (rounded)."""
+    return round(seconds * PS_PER_S)
+
+
+def ns_from_ps(ps: int) -> float:
+    """Convert picoseconds to (float) nanoseconds."""
+    return ps / PS_PER_NS
+
+
+def us_from_ps(ps: int) -> float:
+    """Convert picoseconds to (float) microseconds."""
+    return ps / PS_PER_US
+
+
+def s_from_ps(ps: int) -> float:
+    """Convert picoseconds to (float) seconds."""
+    return ps / PS_PER_S
+
+
+def format_time(ps: int) -> str:
+    """Render a picosecond count with an auto-selected unit.
+
+    >>> format_time(1_500)
+    '1.500 ns'
+    >>> format_time(2_000_000)
+    '2.000 us'
+    """
+    if ps < PS_PER_NS:
+        return f"{ps} ps"
+    if ps < PS_PER_US:
+        return f"{ps / PS_PER_NS:.3f} ns"
+    if ps < PS_PER_MS:
+        return f"{ps / PS_PER_US:.3f} us"
+    if ps < PS_PER_S:
+        return f"{ps / PS_PER_MS:.3f} ms"
+    return f"{ps / PS_PER_S:.3f} s"

@@ -1,0 +1,54 @@
+"""FPGA fabric model: devices, geometry, resources, frames, regions."""
+
+from .config_memory import ConfigMemory
+from .device import (
+    DEVICES,
+    XC2VP4,
+    XC2VP7,
+    XC2VP20,
+    XC2VP30,
+    XC2VP50,
+    BramColumn,
+    DeviceSpec,
+    get_device,
+    list_devices,
+)
+from .frames import BlockType, FrameAddress, FrameGeometry
+from .geometry import Coord, Rect
+from .region import Region, candidate_regions, find_region
+from .resources import (
+    BRAM_KBITS,
+    FFS_PER_SLICE,
+    LUTS_PER_SLICE,
+    SLICES_PER_CLB,
+    ResourceVector,
+    clbs,
+)
+
+__all__ = [
+    "BRAM_KBITS",
+    "BlockType",
+    "BramColumn",
+    "ConfigMemory",
+    "Coord",
+    "DEVICES",
+    "DeviceSpec",
+    "FFS_PER_SLICE",
+    "FrameAddress",
+    "FrameGeometry",
+    "LUTS_PER_SLICE",
+    "Rect",
+    "Region",
+    "ResourceVector",
+    "SLICES_PER_CLB",
+    "XC2VP20",
+    "XC2VP30",
+    "XC2VP4",
+    "XC2VP50",
+    "XC2VP7",
+    "candidate_regions",
+    "clbs",
+    "find_region",
+    "get_device",
+    "list_devices",
+]

@@ -1,0 +1,101 @@
+"""The device's configuration memory.
+
+Holds the current contents of every configuration frame.  The ICAP
+controller writes frames here; :class:`ConfigMemory` also supports
+snapshot/diff, which is how *differential* partial bitstreams are derived
+and how tests verify that reconfiguring the dynamic area leaves static
+frames untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import BitstreamError
+from .device import DeviceSpec
+from .frames import FrameAddress, FrameGeometry
+
+
+class ConfigMemory:
+    """Frame-addressed configuration store for one device."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+        self.geometry = FrameGeometry(device)
+        self._frames: Dict[FrameAddress, np.ndarray] = {}
+        #: number of frame-write operations performed (ICAP statistics)
+        self.writes = 0
+        self.reads = 0
+
+    # -- frame access ----------------------------------------------------
+    def read_frame(self, address: FrameAddress) -> np.ndarray:
+        """Current contents of a frame (zeros if never written).
+
+        A *copy* is returned; mutating it does not change the memory.
+        """
+        self.reads += 1
+        frame = self._frames.get(address)
+        if frame is None:
+            return self.geometry.empty_frame()
+        return frame.copy()
+
+    def write_frame(self, address: FrameAddress, data: np.ndarray) -> None:
+        """Replace a frame's contents."""
+        data = np.asarray(data, dtype=np.uint32)
+        if data.shape != (self.geometry.words_per_frame,):
+            raise BitstreamError(
+                f"frame data for {address} has {data.shape} words; "
+                f"expected ({self.geometry.words_per_frame},)"
+            )
+        self.writes += 1
+        self._frames[address] = data.copy()
+
+    def merge_frame(self, address: FrameAddress, data: np.ndarray, mask: np.ndarray) -> None:
+        """Write only the bits selected by ``mask``, keeping the rest.
+
+        This is the read-modify-write a height-limited dynamic region
+        requires: ``mask`` selects the region's rows within the frame.
+        """
+        data = np.asarray(data, dtype=np.uint32)
+        mask = np.asarray(mask, dtype=np.uint32)
+        current = self.read_frame(address)
+        merged = (current & ~mask) | (data & mask)
+        self.write_frame(address, merged)
+
+    # -- bulk helpers ----------------------------------------------------
+    def frames_equal(self, address: FrameAddress, other: "ConfigMemory") -> bool:
+        """True when both memories hold identical data for ``address``."""
+        return bool(np.array_equal(self.read_frame(address), other.read_frame(address)))
+
+    def snapshot(self) -> Mapping[FrameAddress, np.ndarray]:
+        """Immutable-ish copy of all written frames."""
+        return {addr: frame.copy() for addr, frame in self._frames.items()}
+
+    def restore(self, snapshot: Mapping[FrameAddress, np.ndarray]) -> None:
+        """Reset the memory to a previous :meth:`snapshot`."""
+        self._frames = {addr: np.array(frame, dtype=np.uint32) for addr, frame in snapshot.items()}
+
+    def diff(
+        self, baseline: Mapping[FrameAddress, np.ndarray]
+    ) -> Iterator[Tuple[FrameAddress, np.ndarray]]:
+        """Yield (address, data) for frames that differ from ``baseline``.
+
+        This is the content of a *differential* partial bitstream relative
+        to the baseline configuration.
+        """
+        empty = self.geometry.empty_frame()
+        addresses = set(self._frames) | set(baseline)
+        for address in sorted(addresses):
+            mine = self._frames.get(address, empty)
+            theirs = baseline.get(address, empty)
+            if not np.array_equal(mine, theirs):
+                yield address, mine.copy()
+
+    def written_addresses(self) -> Iterable[FrameAddress]:
+        """Addresses of frames that have been written at least once."""
+        return sorted(self._frames)
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,119 @@
+"""Planar geometry of the CLB array.
+
+Coordinates are in CLB units: ``col`` (x, 0 at the left) and ``row`` (y, 0 at
+the bottom).  A :class:`Rect` is a half-open rectangle ``[col, col+width) x
+[row, row+height)`` used for dynamic regions, CPU blocks and component
+placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import RegionError
+
+
+@dataclass(frozen=True, order=True)
+class Coord:
+    """A CLB-grid coordinate (column, row)."""
+
+    col: int
+    row: int
+
+    def offset(self, dcol: int, drow: int) -> "Coord":
+        """This coordinate translated by (dcol, drow)."""
+        return Coord(self.col + dcol, self.row + drow)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A half-open axis-aligned rectangle on the CLB grid."""
+
+    col: int
+    row: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise RegionError(f"rectangle must have positive size, got {self.width}x{self.height}")
+        if self.col < 0 or self.row < 0:
+            raise RegionError(f"rectangle origin must be non-negative, got ({self.col},{self.row})")
+
+    # -- derived bounds --------------------------------------------------
+    @property
+    def col_end(self) -> int:
+        """One past the rightmost column."""
+        return self.col + self.width
+
+    @property
+    def row_end(self) -> int:
+        """One past the topmost row."""
+        return self.row + self.height
+
+    @property
+    def area(self) -> int:
+        """Number of CLB sites covered."""
+        return self.width * self.height
+
+    @property
+    def columns(self) -> range:
+        """The columns this rectangle spans."""
+        return range(self.col, self.col_end)
+
+    @property
+    def rows(self) -> range:
+        """The rows this rectangle spans."""
+        return range(self.row, self.row_end)
+
+    # -- predicates -------------------------------------------------------
+    def contains(self, coord: Coord) -> bool:
+        """True if ``coord`` lies inside this rectangle."""
+        return self.col <= coord.col < self.col_end and self.row <= coord.row < self.row_end
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.col <= other.col
+            and other.col_end <= self.col_end
+            and self.row <= other.row
+            and other.row_end <= self.row_end
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the two rectangles share at least one CLB site."""
+        return (
+            self.col < other.col_end
+            and other.col < self.col_end
+            and self.row < other.row_end
+            and other.row < self.row_end
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or None when disjoint."""
+        col = max(self.col, other.col)
+        row = max(self.row, other.row)
+        col_end = min(self.col_end, other.col_end)
+        row_end = min(self.row_end, other.row_end)
+        if col >= col_end or row >= row_end:
+            return None
+        return Rect(col, row, col_end - col, row_end - row)
+
+    # -- transforms --------------------------------------------------------
+    def translated(self, dcol: int, drow: int) -> "Rect":
+        """This rectangle moved by (dcol, drow)."""
+        return Rect(self.col + dcol, self.row + drow, self.width, self.height)
+
+    def sites(self) -> Iterator[Coord]:
+        """Iterate every CLB coordinate covered (column-major)."""
+        for col in self.columns:
+            for row in self.rows:
+                yield Coord(col, row)
+
+    def edges(self) -> Tuple[int, int, int, int]:
+        """(col, row, col_end, row_end) for quick unpacking."""
+        return (self.col, self.row, self.col_end, self.row_end)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Rect(cols {self.col}..{self.col_end - 1}, rows {self.row}..{self.row_end - 1})"

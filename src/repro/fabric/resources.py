@@ -1,0 +1,143 @@
+"""Resource accounting.
+
+A :class:`ResourceVector` counts the fabric resources a module occupies or a
+region provides.  Virtex-II Pro numbers: one CLB = 4 slices; one slice = two
+4-input LUTs + two flip-flops; one BRAM block = 18 kbit.  The paper's
+resource-usage tables (Tables 1 and 6) and its fit/no-fit argument for SHA-1
+are expressed with these vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ResourceError
+
+#: Virtex-II Pro slice composition.
+SLICES_PER_CLB = 4
+LUTS_PER_SLICE = 2
+FFS_PER_SLICE = 2
+#: Block-RAM capacity in kilobits.
+BRAM_KBITS = 18
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Counts of fabric resources (slices, BRAM blocks, tristate buffers,
+    18x18 multipliers).
+
+    Vectors support addition, integer scaling and component-wise
+    comparison via :meth:`fits_within`.
+    """
+
+    slices: int = 0
+    bram_blocks: int = 0
+    tbufs: int = 0
+    mult18: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("slices", "bram_blocks", "tbufs", "mult18"):
+            if getattr(self, field_name) < 0:
+                raise ResourceError(f"resource count {field_name} must be non-negative")
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def luts(self) -> int:
+        """4-input LUT count implied by the slice count."""
+        return self.slices * LUTS_PER_SLICE
+
+    @property
+    def flip_flops(self) -> int:
+        """Flip-flop count implied by the slice count."""
+        return self.slices * FFS_PER_SLICE
+
+    @property
+    def bram_kbits(self) -> int:
+        """Total BRAM capacity in kilobits."""
+        return self.bram_blocks * BRAM_KBITS
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            slices=self.slices + other.slices,
+            bram_blocks=self.bram_blocks + other.bram_blocks,
+            tbufs=self.tbufs + other.tbufs,
+            mult18=self.mult18 + other.mult18,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            slices=self.slices - other.slices,
+            bram_blocks=self.bram_blocks - other.bram_blocks,
+            tbufs=self.tbufs - other.tbufs,
+            mult18=self.mult18 - other.mult18,
+        )
+
+    def __mul__(self, factor: int) -> "ResourceVector":
+        if not isinstance(factor, int):
+            return NotImplemented
+        return ResourceVector(
+            slices=self.slices * factor,
+            bram_blocks=self.bram_blocks * factor,
+            tbufs=self.tbufs * factor,
+            mult18=self.mult18 * factor,
+        )
+
+    __rmul__ = __mul__
+
+    # -- queries -----------------------------------------------------------
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """True if every component is <= the corresponding capacity."""
+        return (
+            self.slices <= capacity.slices
+            and self.bram_blocks <= capacity.bram_blocks
+            and self.tbufs <= capacity.tbufs
+            and self.mult18 <= capacity.mult18
+        )
+
+    def shortfall(self, capacity: "ResourceVector") -> "ResourceVector":
+        """How much demand exceeds capacity (clamped at zero per component)."""
+        return ResourceVector(
+            slices=max(0, self.slices - capacity.slices),
+            bram_blocks=max(0, self.bram_blocks - capacity.bram_blocks),
+            tbufs=max(0, self.tbufs - capacity.tbufs),
+            mult18=max(0, self.mult18 - capacity.mult18),
+        )
+
+    def utilization(self, capacity: "ResourceVector") -> dict[str, float]:
+        """Fractional usage per resource class (NaN-free: 0 when capacity 0)."""
+
+        def frac(used: int, avail: int) -> float:
+            return used / avail if avail else 0.0
+
+        return {
+            "slices": frac(self.slices, capacity.slices),
+            "bram_blocks": frac(self.bram_blocks, capacity.bram_blocks),
+            "tbufs": frac(self.tbufs, capacity.tbufs),
+            "mult18": frac(self.mult18, capacity.mult18),
+        }
+
+    def require_fit(self, capacity: "ResourceVector", what: str = "module") -> None:
+        """Raise :class:`ResourceError` when this demand exceeds capacity."""
+        if not self.fits_within(capacity):
+            short = self.shortfall(capacity)
+            raise ResourceError(
+                f"{what} needs {self} but only {capacity} is available (short by {short})"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{self.slices} slices"]
+        if self.bram_blocks:
+            parts.append(f"{self.bram_blocks} BRAM")
+        if self.tbufs:
+            parts.append(f"{self.tbufs} TBUF")
+        if self.mult18:
+            parts.append(f"{self.mult18} MULT18")
+        return ", ".join(parts)
+
+
+def clbs(count: int, bram_blocks: int = 0, tbufs: int = 0, mult18: int = 0) -> ResourceVector:
+    """Build a :class:`ResourceVector` from a CLB count."""
+    return ResourceVector(
+        slices=count * SLICES_PER_CLB, bram_blocks=bram_blocks, tbufs=tbufs, mult18=mult18
+    )

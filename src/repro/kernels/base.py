@@ -1,0 +1,116 @@
+"""Common machinery for hardware-kernel models.
+
+A kernel model plays two roles:
+
+* **Functional** — it implements :class:`repro.dock.interface.StreamingKernel`
+  bit-exactly, so data pushed through a dock produces the same results as
+  the software reference (tests assert this).
+* **Physical** — it can emit the :class:`ComponentConfig` that BitLinker
+  assembles into a partial bitstream, carrying a resource footprint that
+  the fit/no-fit checks (SHA-1 vs the 32-bit system's region) rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List
+
+from ..bitstream.component import ComponentConfig
+from ..dock.interface import kernel_ports
+from ..errors import KernelError
+from ..fabric.resources import SLICES_PER_CLB, ResourceVector
+
+
+class BaseKernel:
+    """Shared output queue + component synthesis."""
+
+    #: Kernel display name; subclasses override.
+    name = "kernel"
+    #: Slice demand of the 32-bit datapath variant.
+    SLICES_32 = 100
+    #: Widening factor for a 64-bit datapath (registers/muxes double-ish).
+    WIDTH64_FACTOR = 1.4
+    #: BRAM blocks needed (independent of width in these designs).
+    BRAMS = 0
+    #: MULT18 blocks needed.
+    MULTS = 0
+    #: Pipeline depth in region clock cycles (reported, and used by the
+    #: transfer models to account for drain time).
+    PIPELINE_DEPTH = 1
+
+    def __init__(self) -> None:
+        self._out: Deque[int] = deque()
+
+    # -- StreamingKernel skeleton -------------------------------------------
+    def reset(self) -> None:
+        self._out.clear()
+
+    def consume(self, value: int, width_bits: int, offset: int = 0) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def produce(self) -> List[int]:
+        drained = list(self._out)
+        self._out.clear()
+        return drained
+
+    def read_register(self, offset: int) -> int:
+        return 0
+
+    def _emit(self, word: int) -> None:
+        self._out.append(word)
+
+    # -- physical side ------------------------------------------------------
+    def slice_demand(self, bus_width: int) -> int:
+        if bus_width == 32:
+            return self.SLICES_32
+        if bus_width == 64:
+            return math.ceil(self.SLICES_32 * self.WIDTH64_FACTOR)
+        raise KernelError(f"unsupported datapath width {bus_width}")
+
+    def resources(self, bus_width: int) -> ResourceVector:
+        return ResourceVector(
+            slices=self.slice_demand(bus_width), bram_blocks=self.BRAMS, mult18=self.MULTS
+        )
+
+    def make_component(self, bus_width: int, region_height: int) -> ComponentConfig:
+        """Synthesise the relocatable component for a target region height.
+
+        Width (in CLB columns) is the smallest that holds the slice demand
+        plus the component-side bus-macro cost at the given height.
+        """
+        ports = kernel_ports(bus_width)
+        macro_slices = sum(port.macro.resource_cost().slices for port in ports)
+        total_slices = self.slice_demand(bus_width) + macro_slices
+        width = max(2, math.ceil(total_slices / (SLICES_PER_CLB * region_height)))
+        min_rows = max(
+            (port.macro.row_offset + port.macro.rows_spanned for port in ports), default=1
+        )
+        if region_height < min_rows:
+            raise KernelError(
+                f"{self.name}: region height {region_height} cannot host the "
+                f"{bus_width}-bit connection interface ({min_rows} rows)"
+            )
+        return ComponentConfig(
+            name=f"{self.name}{bus_width}",
+            width=width,
+            height=region_height,
+            resources=self.resources(bus_width),
+            ports=ports,
+        )
+
+    # -- helpers for subclasses ----------------------------------------------
+    @staticmethod
+    def _split_words(value: int, width_bits: int, chunk_bits: int) -> List[int]:
+        """Split a bus word into little-endian chunks of ``chunk_bits``."""
+        if width_bits % chunk_bits:
+            raise KernelError(f"{width_bits}-bit word does not split into {chunk_bits}-bit chunks")
+        mask = (1 << chunk_bits) - 1
+        return [(value >> (i * chunk_bits)) & mask for i in range(width_bits // chunk_bits)]
+
+    @staticmethod
+    def _pack_words(chunks: List[int], chunk_bits: int) -> int:
+        value = 0
+        for index, chunk in enumerate(chunks):
+            value |= (chunk & ((1 << chunk_bits) - 1)) << (index * chunk_bits)
+        return value

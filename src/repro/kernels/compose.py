@@ -1,0 +1,150 @@
+"""Composite kernels: chained components in one dynamic-area assembly.
+
+BitLinker exists so that "components can be reused without going through
+the complete high-level design flow ... particularly helpful when multiple
+similar configurations must be produced".  A :class:`CompositeKernel`
+realises that functionally: a pipeline of stage kernels where each stage's
+output words feed the next stage's write channel, matching an abutting
+chain of components whose RIGHT/LEFT bus-macro ports BitLinker validated.
+
+Stages keep their own register windows, stacked 0x40 apart, so a composite
+looks to software like one kernel with a segmented register map.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..bitstream.busmacro import BusMacro, Direction, MacroKind, Port, Side
+from ..bitstream.component import ComponentConfig
+from ..errors import KernelError
+from .base import BaseKernel
+
+#: Byte offset between consecutive stages' register windows.
+STAGE_WINDOW = 0x40
+
+
+class InvertKernel(BaseKernel):
+    """Per-lane bitwise inversion (video negative) — a minimal stage."""
+
+    name = "invert"
+    SLICES_32 = 52
+    PIPELINE_DEPTH = 1
+
+    def consume(self, value: int, width_bits: int, offset: int = 0) -> None:
+        if offset != 0:
+            raise KernelError(f"{self.name}: write to unknown offset {offset:#x}")
+        lanes = self._split_words(value, width_bits, 8)
+        self._emit(self._pack_words([~lane & 0xFF for lane in lanes], 8))
+
+
+class CompositeKernel(BaseKernel):
+    """A pipeline of stage kernels behaving as one StreamingKernel."""
+
+    WIDTH64_FACTOR = 1.4
+
+    def __init__(self, stages: Sequence[BaseKernel], name: str = "") -> None:
+        super().__init__()
+        if not stages:
+            raise KernelError("composite needs at least one stage")
+        self.stages: Tuple[BaseKernel, ...] = tuple(stages)
+        self.name = name or "+".join(stage.name for stage in stages)
+        self.PIPELINE_DEPTH = sum(stage.PIPELINE_DEPTH for stage in stages)
+
+    # -- streaming protocol -------------------------------------------------
+    def reset(self) -> None:
+        super().reset()
+        for stage in self.stages:
+            stage.reset()
+
+    def consume(self, value: int, width_bits: int, offset: int = 0) -> None:
+        if offset != 0:
+            stage_index, stage_offset = divmod(offset, STAGE_WINDOW)
+            if stage_index >= len(self.stages):
+                raise KernelError(f"{self.name}: no stage at offset {offset:#x}")
+            self.stages[stage_index].consume(value, width_bits, stage_offset)
+            return
+        # Data words flow through the whole chain.
+        words: List[int] = [value]
+        for stage in self.stages:
+            produced: List[int] = []
+            for word in words:
+                stage.consume(word, width_bits, 0)
+                produced.extend(stage.produce())
+            words = produced
+        for word in words:
+            self._emit(word)
+
+    def flush(self, width_bits: int = 32) -> None:
+        """Propagate stage flushes down the chain (partial output words)."""
+        from .image_ops import FLUSH_OFFSET
+
+        words: List[int] = []
+        for index, stage in enumerate(self.stages):
+            # Push pending carry-through words first.
+            produced: List[int] = []
+            for word in words:
+                stage.consume(word, width_bits, 0)
+                produced.extend(stage.produce())
+            if hasattr(stage, "_flush") or hasattr(stage, "flush"):
+                try:
+                    stage.consume(0, width_bits, FLUSH_OFFSET)
+                except KernelError:
+                    pass
+            produced.extend(stage.produce())
+            words = produced
+        for word in words:
+            self._emit(word)
+
+    def read_register(self, offset: int) -> int:
+        stage_index, stage_offset = divmod(offset, STAGE_WINDOW)
+        if stage_index >= len(self.stages):
+            return 0
+        return self.stages[stage_index].read_register(stage_offset)
+
+    # -- physical side --------------------------------------------------------
+    def slice_demand(self, bus_width: int) -> int:
+        return sum(stage.slice_demand(bus_width) for stage in self.stages)
+
+    def make_components(self, bus_width: int, region_height: int) -> List[ComponentConfig]:
+        """One relocatable component per stage, chained via a shared macro.
+
+        The first stage carries the dock-facing interface; every adjacent
+        pair shares a ``stage-link`` bus macro (RIGHT/OUT feeding LEFT/IN),
+        ready for :func:`repro.bitstream.placer.pack_chain`.
+        """
+        from ..dock.interface import kernel_ports
+
+        link = BusMacro("stage-link", MacroKind.LUT, width=bus_width, row_offset=0)
+        components: List[ComponentConfig] = []
+        for index, stage in enumerate(self.stages):
+            ports: List[Port] = []
+            if index == 0:
+                ports.extend(kernel_ports(bus_width))
+            else:
+                ports.append(Port(link, Side.LEFT, Direction.IN))
+            if index < len(self.stages) - 1:
+                ports.append(Port(link, Side.RIGHT, Direction.OUT))
+            base = stage.make_component(bus_width, region_height)
+            import math
+
+            from ..fabric.resources import SLICES_PER_CLB
+
+            macro_slices = sum(port.macro.resource_cost().slices for port in ports)
+            width = max(
+                2,
+                math.ceil(
+                    (stage.slice_demand(bus_width) + macro_slices)
+                    / (SLICES_PER_CLB * region_height)
+                ),
+            )
+            components.append(
+                ComponentConfig(
+                    name=f"{self.name}.{index}.{stage.name}",
+                    width=width,
+                    height=region_height,
+                    resources=stage.resources(bus_width),
+                    ports=tuple(ports),
+                )
+            )
+        return components

@@ -1,0 +1,207 @@
+"""Hardware implementation of Bob Jenkins' lookup2 hash.
+
+The paper's second application: a public-domain hash returning a 32-bit
+value for a variable-length key (Dr. Dobb's Journal, Sept. 1997).  Here the
+*whole* hash function runs in the dynamic area; the CPU only streams key
+words in and reads the digest back.
+
+Protocol: write the key length (bytes) to LENGTH, optionally an init value
+to INIT, stream the key packed little-endian into data words, then read the
+result register.  The kernel consumes 12-byte blocks as they complete and
+applies the final mix when the full key has arrived.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import KernelError
+from .base import BaseKernel
+
+REG_RESULT = 0x0
+REG_BYTES_SEEN = 0x4
+LENGTH_OFFSET = 0x8
+INIT_OFFSET = 0xC
+
+_MASK = 0xFFFFFFFF
+GOLDEN_RATIO = 0x9E3779B9
+
+
+def _mix(a: int, b: int, c: int) -> tuple[int, int, int]:
+    """The lookup2 96-bit mixer (all arithmetic mod 2**32)."""
+    a = (a - b - c) & _MASK; a ^= c >> 13
+    b = (b - c - a) & _MASK; b ^= (a << 8) & _MASK
+    c = (c - a - b) & _MASK; c ^= b >> 13
+    a = (a - b - c) & _MASK; a ^= c >> 12
+    b = (b - c - a) & _MASK; b ^= (a << 16) & _MASK
+    c = (c - a - b) & _MASK; c ^= b >> 5
+    a = (a - b - c) & _MASK; a ^= c >> 3
+    b = (b - c - a) & _MASK; b ^= (a << 10) & _MASK
+    c = (c - a - b) & _MASK; c ^= b >> 15
+    return a, b, c
+
+
+def lookup2(key: bytes, initval: int = 0) -> int:
+    """Reference lookup2 (batch form), bit-exact to the published C code."""
+    a = b = GOLDEN_RATIO
+    c = initval & _MASK
+    length = len(key)
+    pos = 0
+    remaining = length
+    while remaining >= 12:
+        a = (a + int.from_bytes(key[pos : pos + 4], "little")) & _MASK
+        b = (b + int.from_bytes(key[pos + 4 : pos + 8], "little")) & _MASK
+        c = (c + int.from_bytes(key[pos + 8 : pos + 12], "little")) & _MASK
+        a, b, c = _mix(a, b, c)
+        pos += 12
+        remaining -= 12
+    c = (c + length) & _MASK
+    tail = key[pos:]
+    if remaining >= 11:
+        c = (c + (tail[10] << 24)) & _MASK
+    if remaining >= 10:
+        c = (c + (tail[9] << 16)) & _MASK
+    if remaining >= 9:
+        c = (c + (tail[8] << 8)) & _MASK
+    # the first byte of c is reserved for the length
+    if remaining >= 8:
+        b = (b + (tail[7] << 24)) & _MASK
+    if remaining >= 7:
+        b = (b + (tail[6] << 16)) & _MASK
+    if remaining >= 6:
+        b = (b + (tail[5] << 8)) & _MASK
+    if remaining >= 5:
+        b = (b + tail[4]) & _MASK
+    if remaining >= 4:
+        a = (a + (tail[3] << 24)) & _MASK
+    if remaining >= 3:
+        a = (a + (tail[2] << 16)) & _MASK
+    if remaining >= 2:
+        a = (a + (tail[1] << 8)) & _MASK
+    if remaining >= 1:
+        a = (a + tail[0]) & _MASK
+    a, b, c = _mix(a, b, c)
+    return c
+
+
+class JenkinsHashKernel(BaseKernel):
+    """Streaming lookup2 core."""
+
+    name = "lookup2"
+    SLICES_32 = 612
+    PIPELINE_DEPTH = 12  # three mix rounds of four stages
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._length = 0
+        self._initval = 0
+        self._buffer = bytearray()
+        self._a = self._b = GOLDEN_RATIO
+        self._c = 0
+        self._bytes_seen = 0
+        self._result: int | None = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._length = 0
+        self._initval = 0
+        self._restart()
+
+    def _restart(self) -> None:
+        self._buffer = bytearray()
+        self._a = self._b = GOLDEN_RATIO
+        self._c = self._initval & _MASK
+        self._bytes_seen = 0
+        self._blocks_done = 0
+        self._result = None
+
+    def consume(self, value: int, width_bits: int, offset: int = 0) -> None:
+        if offset == LENGTH_OFFSET:
+            self._length = value & _MASK
+            self._restart()
+            if self._length == 0:
+                self._finalise()
+            return
+        if offset == INIT_OFFSET:
+            self._initval = value & _MASK
+            self._restart()
+            return
+        if offset != 0:
+            raise KernelError(f"{self.name}: write to unknown offset {offset:#x}")
+        if self._result is not None:
+            raise KernelError(f"{self.name}: key already finalised; write LENGTH to restart")
+        incoming = bytes(self._split_words(value, width_bits, 8))
+        take = min(len(incoming), self._length - self._bytes_seen)
+        if take <= 0:
+            raise KernelError(f"{self.name}: more data than the declared length")
+        self._buffer.extend(incoming[:take])
+        self._bytes_seen += take
+        self._drain_blocks()
+        if self._bytes_seen == self._length:
+            self._finalise()
+
+    def _drain_blocks(self) -> None:
+        # lookup2 mixes exactly length//12 full blocks; the remaining
+        # length%12 bytes stay buffered for the final mix.
+        blocks_allowed = self._length // 12
+        while len(self._buffer) >= 12 and self._blocks_done < blocks_allowed:
+            block = bytes(self._buffer[:12])
+            del self._buffer[:12]
+            self._blocks_done += 1
+            self._a = (self._a + int.from_bytes(block[0:4], "little")) & _MASK
+            self._b = (self._b + int.from_bytes(block[4:8], "little")) & _MASK
+            self._c = (self._c + int.from_bytes(block[8:12], "little")) & _MASK
+            self._a, self._b, self._c = _mix(self._a, self._b, self._c)
+
+    def _finalise(self) -> None:
+        a, b, c = self._a, self._b, self._c
+        tail = bytes(self._buffer)
+        remaining = len(tail)
+        c = (c + self._length) & _MASK
+        if remaining >= 11:
+            c = (c + (tail[10] << 24)) & _MASK
+        if remaining >= 10:
+            c = (c + (tail[9] << 16)) & _MASK
+        if remaining >= 9:
+            c = (c + (tail[8] << 8)) & _MASK
+        if remaining >= 8:
+            b = (b + (tail[7] << 24)) & _MASK
+        if remaining >= 7:
+            b = (b + (tail[6] << 16)) & _MASK
+        if remaining >= 6:
+            b = (b + (tail[5] << 8)) & _MASK
+        if remaining >= 5:
+            b = (b + tail[4]) & _MASK
+        if remaining >= 4:
+            a = (a + (tail[3] << 24)) & _MASK
+        if remaining >= 3:
+            a = (a + (tail[2] << 16)) & _MASK
+        if remaining >= 2:
+            a = (a + (tail[1] << 8)) & _MASK
+        if remaining >= 1:
+            a = (a + tail[0]) & _MASK
+        _, _, c = _mix(a, b, c)
+        self._result = c
+        self._buffer.clear()
+
+    def read_register(self, offset: int) -> int:
+        if offset == REG_RESULT:
+            if self._result is None:
+                raise KernelError(f"{self.name}: digest not ready")
+            return self._result
+        if offset == REG_BYTES_SEEN:
+            return self._bytes_seen
+        return 0
+
+    @property
+    def result_ready(self) -> bool:
+        return self._result is not None
+
+
+def key_to_words(key: bytes, word_bytes: int = 4) -> List[int]:
+    """Pack a key little-endian into bus words (zero-padded tail)."""
+    words = []
+    for pos in range(0, len(key), word_bytes):
+        chunk = key[pos : pos + word_bytes]
+        words.append(int.from_bytes(chunk.ljust(word_bytes, b"\0"), "little"))
+    return words

@@ -1,0 +1,148 @@
+"""Hardware pattern matcher for bilevel images.
+
+The paper's first application: count how many pixels of an 8x8 pattern
+match the corresponding pixels of a window sliding over a larger binary
+image.  The hardware is a pipeline of eight stages, one per pattern row;
+stage outputs are summed into the match count for one window position.
+
+Streaming protocol (one 8-row image strip at a time):
+
+* each byte of an incoming data word is one **image column** of the strip
+  (bit ``i`` = row ``i``), so a 32-bit write advances the sliding window by
+  four columns and a 64-bit write by eight;
+* after the first seven columns (pipeline fill) every further column
+  completes one window position; match counts (0..64, one byte each) are
+  packed four (32-bit) or eight (64-bit) per output word;
+* a write to the FLUSH control offset pads and emits any buffered counts;
+* ``read_register(0)`` returns the number of positions evaluated,
+  ``read_register(4)`` the running maximum count (a typical "best match"
+  register).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Sequence
+
+import numpy as np
+
+from ..errors import KernelError
+from .base import BaseKernel
+
+#: Control offset: flush partially filled output word.
+FLUSH_OFFSET = 0x10
+#: Control offsets for loading the pattern (8 columns packed 4/word).
+PATTERN_LO_OFFSET = 0x14
+PATTERN_HI_OFFSET = 0x18
+
+REG_POSITIONS = 0x0
+REG_BEST = 0x4
+
+
+def pattern_to_columns(pattern: np.ndarray) -> List[int]:
+    """Convert an 8x8 boolean pattern to 8 column bytes (bit i = row i)."""
+    arr = np.asarray(pattern)
+    if arr.shape != (8, 8):
+        raise KernelError(f"pattern must be 8x8, got {arr.shape}")
+    arr = arr.astype(bool)
+    columns = []
+    for col in range(8):
+        byte = 0
+        for row in range(8):
+            if arr[row, col]:
+                byte |= 1 << row
+        columns.append(byte)
+    return columns
+
+
+class PatternMatchKernel(BaseKernel):
+    """Eight-stage pipelined 8x8 binary pattern matcher."""
+
+    name = "patmatch"
+    SLICES_32 = 430
+    PIPELINE_DEPTH = 9  # 8 row stages + adder tree
+
+    def __init__(self, pattern: np.ndarray | Sequence[int] | None = None) -> None:
+        super().__init__()
+        self._pattern_cols: List[int] = [0] * 8
+        if pattern is not None:
+            arr = np.asarray(pattern)
+            if arr.ndim == 2:
+                self._pattern_cols = pattern_to_columns(arr)
+            else:
+                if len(arr) != 8:
+                    raise KernelError("pattern column list must have 8 entries")
+                self._pattern_cols = [int(b) & 0xFF for b in arr]
+        self._window: Deque[int] = deque(maxlen=8)
+        self._counts: List[int] = []
+        self._positions = 0
+        self._best = 0
+        self._out_width = 32
+
+    # -- protocol -----------------------------------------------------------
+    def reset(self) -> None:
+        super().reset()
+        self._window.clear()
+        self._counts.clear()
+        self._positions = 0
+        self._best = 0
+
+    def consume(self, value: int, width_bits: int, offset: int = 0) -> None:
+        if offset == FLUSH_OFFSET:
+            self._flush(width_bits)
+            return
+        if offset == PATTERN_LO_OFFSET:
+            for index, byte in enumerate(self._split_words(value, 32, 8)):
+                self._pattern_cols[index] = byte
+            return
+        if offset == PATTERN_HI_OFFSET:
+            for index, byte in enumerate(self._split_words(value, 32, 8)):
+                self._pattern_cols[4 + index] = byte
+            return
+        if offset != 0:
+            raise KernelError(f"{self.name}: write to unknown offset {offset:#x}")
+        self._out_width = width_bits
+        for column in self._split_words(value, width_bits, 8):
+            self._shift_column(column)
+
+    def _shift_column(self, column: int) -> None:
+        self._window.append(column & 0xFF)
+        if len(self._window) < 8:
+            return
+        count = 0
+        for win_col, pat_col in zip(self._window, self._pattern_cols):
+            count += bin(~(win_col ^ pat_col) & 0xFF).count("1")
+        self._positions += 1
+        if count > self._best:
+            self._best = count
+        self._counts.append(count)
+        per_word = self._out_width // 8
+        if len(self._counts) >= per_word:
+            self._emit(self._pack_words(self._counts[:per_word], 8))
+            del self._counts[:per_word]
+
+    def _flush(self, width_bits: int) -> None:
+        if not self._counts:
+            return
+        per_word = self._out_width // 8
+        padded = self._counts + [0] * (per_word - len(self._counts))
+        self._emit(self._pack_words(padded, 8))
+        self._counts.clear()
+
+    def read_register(self, offset: int) -> int:
+        if offset == REG_POSITIONS:
+            return self._positions
+        if offset == REG_BEST:
+            return self._best
+        return 0
+
+    # -- convenience for strip preparation -------------------------------------
+    @staticmethod
+    def strip_columns(image: np.ndarray, row0: int) -> List[int]:
+        """Column bytes of the 8-row strip of ``image`` starting at ``row0``."""
+        arr = np.asarray(image).astype(bool)
+        if row0 < 0 or row0 + 8 > arr.shape[0]:
+            raise KernelError(f"strip row {row0} outside image of {arr.shape[0]} rows")
+        strip = arr[row0 : row0 + 8, :]
+        weights = (1 << np.arange(8, dtype=np.uint32))[:, None]
+        return [int(v) for v in (strip * weights).sum(axis=0)]

@@ -1,0 +1,169 @@
+"""Hardware SHA-1 core (RFC 3174).
+
+The "more demanding" hash of the paper's evaluation: the kernel's resource
+demand deliberately exceeds the 32-bit system's dynamic area, so it can be
+configured only on the 64-bit system (Table 11's caption note: "our
+implementation does not fit into the dynamic area of the 32-bit system").
+
+Protocol: write the message length (bytes) to LENGTH, stream the message
+packed little-endian into data words, write any value to FINALIZE, then
+read H0..H4 from the result registers.  The kernel buffers incoming bytes
+into 512-bit blocks and runs the 80-round compression as blocks complete
+(the real core does a round per clock; see PIPELINE_DEPTH).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import KernelError
+from .base import BaseKernel
+
+REG_H = (0x0, 0x4, 0x8, 0xC, 0x10)
+REG_BLOCKS = 0x14
+LENGTH_OFFSET = 0x20
+FINALIZE_OFFSET = 0x24
+
+_MASK = 0xFFFFFFFF
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _rotl(value: int, amount: int) -> int:
+    value &= _MASK
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def sha1_compress(state: tuple[int, int, int, int, int], block: bytes) -> tuple[int, int, int, int, int]:
+    """One 512-bit SHA-1 compression (RFC 3174 section 6.1)."""
+    if len(block) != 64:
+        raise KernelError(f"SHA-1 block must be 64 bytes, got {len(block)}")
+    w = list(struct.unpack(">16I", block))
+    for t in range(16, 80):
+        w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+    a, b, c, d, e = state
+    for t in range(80):
+        if t < 20:
+            f = (b & c) | (~b & d)
+            k = 0x5A827999
+        elif t < 40:
+            f = b ^ c ^ d
+            k = 0x6ED9EBA1
+        elif t < 60:
+            f = (b & c) | (b & d) | (c & d)
+            k = 0x8F1BBCDC
+        else:
+            f = b ^ c ^ d
+            k = 0xCA62C1D6
+        temp = (_rotl(a, 5) + f + e + w[t] + k) & _MASK
+        e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+        (state[4] + e) & _MASK,
+    )
+
+
+def sha1(message: bytes) -> bytes:
+    """Batch SHA-1 (reference for tests; bit-exact to hashlib)."""
+    state = _INIT
+    length_bits = len(message) * 8
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    padded += struct.pack(">Q", length_bits)
+    for pos in range(0, len(padded), 64):
+        state = sha1_compress(state, padded[pos : pos + 64])
+    return struct.pack(">5I", *state)
+
+
+class Sha1Kernel(BaseKernel):
+    """Streaming SHA-1 core with internal padding."""
+
+    name = "sha1"
+    SLICES_32 = 1380  # exceeds the 32-bit system's 1232-slice dynamic area
+    WIDTH64_FACTOR = 1.4
+    BRAMS = 2  # message-schedule storage
+    PIPELINE_DEPTH = 82  # 80 rounds + load/store
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._length = 0
+        self._buffer = bytearray()
+        self._bytes_seen = 0
+        self._state = _INIT
+        self._blocks = 0
+        self._final = False
+
+    def reset(self) -> None:
+        super().reset()
+        self._length = 0
+        self._buffer = bytearray()
+        self._bytes_seen = 0
+        self._state = _INIT
+        self._blocks = 0
+        self._final = False
+
+    def consume(self, value: int, width_bits: int, offset: int = 0) -> None:
+        if offset == LENGTH_OFFSET:
+            self._length = value
+            self._buffer.clear()
+            self._bytes_seen = 0
+            self._state = _INIT
+            self._blocks = 0
+            self._final = False
+            return
+        if offset == FINALIZE_OFFSET:
+            self._finalise()
+            return
+        if offset != 0:
+            raise KernelError(f"{self.name}: write to unknown offset {offset:#x}")
+        if self._final:
+            raise KernelError(f"{self.name}: digest already finalised")
+        incoming = bytes(self._split_words(value, width_bits, 8))
+        take = min(len(incoming), self._length - self._bytes_seen)
+        if take <= 0:
+            raise KernelError(f"{self.name}: more data than the declared length")
+        self._buffer.extend(incoming[:take])
+        self._bytes_seen += take
+        while len(self._buffer) >= 64:
+            block = bytes(self._buffer[:64])
+            del self._buffer[:64]
+            self._state = sha1_compress(self._state, block)
+            self._blocks += 1
+
+    def _finalise(self) -> None:
+        if self._final:
+            return
+        if self._bytes_seen != self._length:
+            raise KernelError(
+                f"{self.name}: finalise after {self._bytes_seen} of {self._length} bytes"
+            )
+        length_bits = self._length * 8
+        tail = bytes(self._buffer) + b"\x80"
+        tail += b"\x00" * ((56 - len(tail) % 64) % 64)
+        tail += struct.pack(">Q", length_bits)
+        for pos in range(0, len(tail), 64):
+            self._state = sha1_compress(self._state, tail[pos : pos + 64])
+            self._blocks += 1
+        self._buffer.clear()
+        self._final = True
+
+    def read_register(self, offset: int) -> int:
+        if offset in REG_H:
+            if not self._final:
+                raise KernelError(f"{self.name}: digest not finalised")
+            return self._state[REG_H.index(offset)]
+        if offset == REG_BLOCKS:
+            return self._blocks
+        return 0
+
+    @property
+    def digest_ready(self) -> bool:
+        return self._final
+
+    def digest(self) -> bytes:
+        """The full 20-byte digest (testing convenience)."""
+        if not self._final:
+            raise KernelError(f"{self.name}: digest not finalised")
+        return struct.pack(">5I", *self._state)

@@ -1,0 +1,6 @@
+"""Memory subsystem: backing arrays and bus-attached controllers."""
+
+from .controllers import BramController, DdrController, SramController
+from .memory import MemoryArray
+
+__all__ = ["BramController", "DdrController", "MemoryArray", "SramController"]

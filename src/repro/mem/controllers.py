@@ -1,0 +1,91 @@
+"""Memory controllers (bus slaves wrapping a :class:`MemoryArray`).
+
+Three controllers cover the paper's systems:
+
+* :class:`SramController` — the 32-bit external static RAM on the OPB of
+  the 32-bit system ("using the OPB instead of the PLB to access external
+  memory requires a much smaller controller").
+* :class:`DdrController` — the 64-bit external DDR SDRAM on the PLB of the
+  64-bit system.  First access pays activation latency; burst beats then
+  stream back-to-back.
+* :class:`BramController` — on-chip block RAM on the PLB (single-cycle).
+
+Wait-state parameters are model constants chosen from the controllers'
+documented behaviour; tests pin the resulting per-access latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from ..engine.stats import StatsGroup
+from ..fabric.resources import ResourceVector
+from .memory import MemoryArray
+from ..bus.transaction import Op, Transaction
+
+
+class _MemoryController:
+    """Shared plumbing: address translation + data movement."""
+
+    #: Wait states for the first beat of a read / write.
+    READ_WAIT = 0
+    WRITE_WAIT = 0
+    #: Extra wait states per additional burst beat.
+    READ_BEAT_WAIT = 0
+    WRITE_BEAT_WAIT = 0
+    #: Fabric cost reported in the resource-usage tables.
+    RESOURCES = ResourceVector(slices=0)
+
+    def __init__(self, memory: MemoryArray, base: int, name: str) -> None:
+        self.memory = memory
+        self.base = base
+        self.name = name
+        self.stats = StatsGroup(name)
+
+    def access(self, txn: Transaction, when_ps: int) -> Tuple[int, Any]:
+        offset = txn.address - self.base
+        if txn.op is Op.WRITE:
+            payload = txn.data if isinstance(txn.data, (list, tuple)) else [txn.data]
+            values = [0 if v is None else int(v) for v in payload]
+            if len(values) < txn.beats:
+                values = values + [0] * (txn.beats - len(values))
+            self.memory.write_words(offset, values[: txn.beats], txn.size_bytes)
+            self.stats.count("writes", txn.beats)
+            wait = self.WRITE_WAIT + self.WRITE_BEAT_WAIT * (txn.beats - 1)
+            return wait, None
+        values = self.memory.read_words(offset, txn.beats, txn.size_bytes)
+        self.stats.count("reads", txn.beats)
+        wait = self.READ_WAIT + self.READ_BEAT_WAIT * (txn.beats - 1)
+        return wait, values[0] if txn.beats == 1 else values
+
+
+class SramController(_MemoryController):
+    """Asynchronous SRAM behind a small OPB controller (32-bit system)."""
+
+    READ_WAIT = 1
+    WRITE_WAIT = 1
+    READ_BEAT_WAIT = 1
+    WRITE_BEAT_WAIT = 1
+    RESOURCES = ResourceVector(slices=187)
+
+
+class DdrController(_MemoryController):
+    """DDR SDRAM behind a PLB controller (64-bit system).
+
+    The first beat pays CAS/activation latency; later beats of a burst
+    stream at bus rate (zero extra wait).
+    """
+
+    READ_WAIT = 6
+    WRITE_WAIT = 2
+    READ_BEAT_WAIT = 0
+    WRITE_BEAT_WAIT = 0
+    RESOURCES = ResourceVector(slices=724, bram_blocks=0)
+
+
+class BramController(_MemoryController):
+    """On-chip BRAM on the PLB: single-cycle, used for boot code/stack."""
+
+    READ_WAIT = 0
+    WRITE_WAIT = 0
+    RESOURCES = ResourceVector(slices=114, bram_blocks=8)

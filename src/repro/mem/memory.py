@@ -1,0 +1,74 @@
+"""Backing store shared by the memory controllers.
+
+A :class:`MemoryArray` is a flat byte array with word-level accessors.  The
+controllers wrap one of these with bus timing; workloads use the zero-time
+:meth:`load` / :meth:`dump` helpers to stage input data and read results,
+exactly like a testbench pre-loading DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import BusError
+
+
+class MemoryArray:
+    """Byte-addressable storage with 32/64-bit word views."""
+
+    def __init__(self, size_bytes: int, name: str = "mem") -> None:
+        if size_bytes <= 0 or size_bytes % 8:
+            raise BusError(f"memory size must be a positive multiple of 8, got {size_bytes}")
+        self.name = name
+        self.size_bytes = size_bytes
+        self._data = np.zeros(size_bytes, dtype=np.uint8)
+
+    # -- bounds ---------------------------------------------------------
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or offset + length > self.size_bytes:
+            raise BusError(
+                f"{self.name}: access [{offset:#x}, {offset + length:#x}) outside "
+                f"{self.size_bytes:#x}-byte memory"
+            )
+
+    # -- word access (functional side of bus transactions) -----------------
+    def read_word(self, offset: int, size_bytes: int) -> int:
+        self._check(offset, size_bytes)
+        raw = self._data[offset : offset + size_bytes].tobytes()
+        return int.from_bytes(raw, "little")
+
+    def write_word(self, offset: int, size_bytes: int, value: int) -> None:
+        self._check(offset, size_bytes)
+        raw = (int(value) & ((1 << (8 * size_bytes)) - 1)).to_bytes(size_bytes, "little")
+        self._data[offset : offset + size_bytes] = np.frombuffer(raw, dtype=np.uint8)
+
+    _DTYPES = {1: "u1", 2: "<u2", 4: "<u4", 8: "<u8"}
+
+    def read_words(self, offset: int, count: int, size_bytes: int = 4) -> list[int]:
+        self._check(offset, count * size_bytes)
+        dtype = self._DTYPES[size_bytes]
+        view = self._data[offset : offset + count * size_bytes].view(dtype)
+        return [int(v) for v in view]
+
+    def write_words(self, offset: int, values: Sequence[int], size_bytes: int = 4) -> None:
+        self._check(offset, len(values) * size_bytes)
+        dtype = self._DTYPES[size_bytes]
+        arr = np.array([int(v) for v in values], dtype=np.uint64).astype(dtype)
+        self._data[offset : offset + len(values) * size_bytes] = arr.view(np.uint8)
+
+    # -- zero-time testbench access ------------------------------------------
+    def load(self, offset: int, data: bytes | np.ndarray) -> None:
+        """Stage data without consuming simulated time."""
+        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8).ravel()
+        self._check(offset, buf.size)
+        self._data[offset : offset + buf.size] = buf
+
+    def dump(self, offset: int, length: int) -> np.ndarray:
+        """Read data without consuming simulated time (returns a copy)."""
+        self._check(offset, length)
+        return self._data[offset : offset + length].copy()
+
+    def fill(self, value: int = 0) -> None:
+        self._data[:] = value

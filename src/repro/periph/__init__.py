@@ -1,0 +1,11 @@
+"""Peripheral models: HWICAP, UART, GPIO, interrupt controller, JTAGPPC,
+reset block."""
+
+from .gpio import Gpio
+from .hwicap import OpbHwIcap
+from .intc import InterruptController
+from .jtagppc import JtagPpc
+from .reset import ResetBlock
+from .uart import Uart
+
+__all__ = ["Gpio", "InterruptController", "JtagPpc", "OpbHwIcap", "ResetBlock", "Uart"]

@@ -1,0 +1,52 @@
+"""General-purpose I/O controller (LEDs and push buttons).
+
+Present only in the 32-bit system (the paper notes its absence from the
+64-bit design as one of the "minor differences").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from ..engine.stats import StatsGroup
+from ..errors import BusError
+from ..fabric.resources import ResourceVector
+from ..bus.transaction import Op, Transaction
+
+REG_OUT = 0x0  # LEDs
+REG_IN = 0x4  # push buttons
+
+
+class Gpio:
+    """OPB GPIO with one output (LED) and one input (button) register."""
+
+    WRITE_WAIT = 0
+    READ_WAIT = 1
+    RESOURCES = ResourceVector(slices=48)
+
+    def __init__(self, base: int, name: str = "gpio") -> None:
+        self.base = base
+        self.name = name
+        self.stats = StatsGroup(name)
+        self.leds = 0
+        self.buttons = 0
+
+    def press(self, mask: int) -> None:
+        """Testbench hook: set the button input bits."""
+        self.buttons = mask & 0xFFFFFFFF
+
+    def access(self, txn: Transaction, when_ps: int) -> Tuple[int, Any]:
+        offset = txn.address - self.base
+        if txn.op is Op.WRITE:
+            if offset != REG_OUT:
+                raise BusError(f"{self.name}: write to input register")
+            payload = txn.data if isinstance(txn.data, (list, tuple)) else [txn.data]
+            self.leds = int(payload[-1]) & 0xFFFFFFFF
+            self.stats.count("led_writes")
+            return self.WRITE_WAIT, None
+        if offset == REG_OUT:
+            return self.READ_WAIT, self.leds
+        if offset == REG_IN:
+            self.stats.count("button_reads")
+            return self.READ_WAIT, self.buttons
+        raise BusError(f"{self.name}: unknown register {offset:#x}")

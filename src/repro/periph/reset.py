@@ -1,0 +1,39 @@
+"""Reset block.
+
+Lets an external signal reset the CPU and peripherals **without affecting
+the fabric configuration** — the property that makes it safe to recover a
+wedged program while dynamically loaded hardware stays in place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..engine.stats import StatsGroup
+from ..fabric.resources import ResourceVector
+
+
+class ResetBlock:
+    """Collects reset callbacks from CPU/peripherals and fires them."""
+
+    RESOURCES = ResourceVector(slices=24)
+
+    def __init__(self, name: str = "reset") -> None:
+        self.name = name
+        self.stats = StatsGroup(name)
+        self._targets: List[Callable[[], None]] = []
+
+    def register(self, callback: Callable[[], None]) -> None:
+        """Add a component's reset handler."""
+        self._targets.append(callback)
+
+    def assert_reset(self) -> int:
+        """Reset everything registered; returns the number of targets hit.
+
+        Configuration memory is deliberately not registered here: a system
+        reset must leave the (possibly dynamically loaded) fabric intact.
+        """
+        for callback in self._targets:
+            callback()
+        self.stats.count("resets")
+        return len(self._targets)

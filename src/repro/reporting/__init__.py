@@ -1,0 +1,5 @@
+"""Reporting helpers for the benchmark harness."""
+
+from .tables import format_table, format_time_ns, speedup
+
+__all__ = ["format_table", "format_time_ns", "speedup"]

@@ -1,0 +1,42 @@
+"""Software reference implementations with PPC405 cost models."""
+
+from .costmodel import (
+    RunResult,
+    SystemFacade,
+    charge_byte_reads,
+    charge_byte_writes,
+    charge_repeated_word_reads,
+    charge_word_reads,
+    charge_word_writes,
+)
+from .image_ops import (
+    SwBlend,
+    SwBrightness,
+    SwFade,
+    blend_ref,
+    brightness_ref,
+    fade_ref,
+)
+from .jenkins_hash import SwJenkinsHash
+from .pattern_match import SwPatternMatch, match_counts
+from .sha1 import SwSha1
+
+__all__ = [
+    "RunResult",
+    "SwBlend",
+    "SwBrightness",
+    "SwFade",
+    "SwJenkinsHash",
+    "SwPatternMatch",
+    "SwSha1",
+    "SystemFacade",
+    "blend_ref",
+    "brightness_ref",
+    "charge_byte_reads",
+    "charge_byte_writes",
+    "charge_repeated_word_reads",
+    "charge_word_reads",
+    "charge_word_writes",
+    "fade_ref",
+    "match_counts",
+]

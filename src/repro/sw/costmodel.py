@@ -1,0 +1,128 @@
+"""Shared cost-model helpers for the software task implementations.
+
+A software task charges time in three parts:
+
+* **compute** — an :class:`InstructionMix` per inner-loop iteration,
+  derived from the reference C code compiled for the PPC405;
+* **memory** — data movement, which depends on the *system*: the 32-bit
+  system's external SRAM sits behind the PLB-OPB bridge and is accessed
+  uncached (the small OPB controller does not support the burst reads a
+  line fill needs), while the 64-bit system's DDR is cacheable;
+* **call overhead** — per-invocation setup (prologue, padding, buffer
+  initialisation), which the paper highlights for SHA-1 on small inputs.
+
+Tasks receive the *system facade* (anything with ``cpu``, ``ext_mem``,
+``ext_mem_base`` and ``ext_mem_cacheable``) so the same task code runs on
+both systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Protocol, runtime_checkable
+
+from ..cpu.ppc405 import Ppc405
+from ..mem.memory import MemoryArray
+
+
+@runtime_checkable
+class SystemFacade(Protocol):
+    """The slice of a System the task models need."""
+
+    cpu: Ppc405
+    ext_mem: MemoryArray
+    ext_mem_base: int
+    ext_mem_cacheable: bool
+
+
+@dataclass
+class RunResult:
+    """Outcome of one task execution on a system."""
+
+    result: Any
+    elapsed_ps: int
+    label: str = ""
+    #: Optional phase breakdown (e.g. the 64-bit image tasks report their
+    #: "data preparation" time separately, as the paper's Table 12 does).
+    breakdown: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.elapsed_ps / 1e6
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_ps / 1e9
+
+
+def charge_word_reads(system: SystemFacade, address: int, count: int) -> None:
+    """Time for ``count`` sequential 32-bit loads from external memory."""
+    if count <= 0:
+        return
+    if system.ext_mem_cacheable:
+        system.cpu.charge_stream_read(address, count * 4)
+        system.cpu.execute_cycles(count)  # the load instructions themselves
+    else:
+        system.cpu.io_read_batch(address, count)
+
+
+def charge_word_writes(
+    system: SystemFacade, address: int, count: int, allocate: bool = True
+) -> None:
+    """Time for ``count`` sequential 32-bit stores to external memory.
+
+    ``allocate=False`` passes through to the dcbz-style streaming-store
+    optimisation (cacheable systems only; harmless elsewhere).
+    """
+    if count <= 0:
+        return
+    if system.ext_mem_cacheable:
+        system.cpu.charge_stream_write(address, count * 4, allocate=allocate)
+        system.cpu.execute_cycles(count)
+    else:
+        system.cpu.io_write_batch(address, count)
+
+
+def charge_repeated_word_reads(
+    system: SystemFacade, address: int, total_loads: int, unique_bytes: int
+) -> None:
+    """Time for ``total_loads`` word loads over a ``unique_bytes`` window.
+
+    Uncached: every load is a full bus transaction.  Cached: the window is
+    fetched once (stream) and the loads themselves are pipeline slots.
+    Models sliding-window code that revisits the same data (pattern
+    matching reads each strip word ~8 times).
+    """
+    if total_loads <= 0:
+        return
+    if system.ext_mem_cacheable:
+        system.cpu.charge_stream_read(address, unique_bytes)
+        system.cpu.execute_cycles(total_loads)
+    else:
+        system.cpu.io_read_batch(address, total_loads)
+
+
+def charge_byte_reads(system: SystemFacade, address: int, count: int) -> None:
+    """Time for ``count`` sequential byte loads (lbz) from external memory.
+
+    Uncached, every byte is a full bus transaction — the pattern that
+    makes naive byte-wise C so expensive on the 32-bit system.
+    """
+    if count <= 0:
+        return
+    if system.ext_mem_cacheable:
+        system.cpu.charge_stream_read(address, count)
+        system.cpu.execute_cycles(count)
+    else:
+        system.cpu.io_read_batch(address, count, size=1)
+
+
+def charge_byte_writes(system: SystemFacade, address: int, count: int) -> None:
+    """Time for ``count`` sequential byte stores (stb) to external memory."""
+    if count <= 0:
+        return
+    if system.ext_mem_cacheable:
+        system.cpu.charge_stream_write(address, count)
+        system.cpu.execute_cycles(count)
+    else:
+        system.cpu.io_write_batch(address, count, size=1)

@@ -1,0 +1,46 @@
+"""Software lookup2 hash on the PPC405.
+
+The "public domain implementation of a hashing function" of the paper's
+second example (Jenkins, Dr. Dobb's Journal 1997), compiled with aligned
+32-bit word loads.  The code was *optimised for 32-bit CPUs* — three loads
+and one 27-operation mix per 12-byte block — so its software time is small
+and the hardware version's gain is limited by transfer time (Tables 4/10).
+"""
+
+from __future__ import annotations
+
+from ..cpu.isa import CALL_OVERHEAD, InstructionMix
+from ..kernels.jenkins_hash import lookup2
+from .costmodel import RunResult, SystemFacade, charge_repeated_word_reads
+
+#: Per 12-byte block: the 27-op mix (each line is a sub + sub/xor + shift),
+#: three a/b/c additions, pointer arithmetic and the length test.  Word
+#: loads are charged separately.
+BLOCK_MIX = InstructionMix(alu=48, load=3, branches=2, taken_fraction=1.0, label="lookup2-block")
+#: Tail handling: the final switch ladder plus the closing mix.
+TAIL_MIX = InstructionMix(alu=40, load=3, branches=6, taken_fraction=0.5, label="lookup2-tail")
+#: Per-call overhead: prologue/epilogue and initialisation.
+CALL_MIX = CALL_OVERHEAD + InstructionMix(alu=8, label="lookup2-call")
+
+
+class SwJenkinsHash:
+    """Software lookup2 task (compute + PPC405 cost model)."""
+
+    name = "lookup2/sw"
+
+    def __init__(self, initval: int = 0) -> None:
+        self.initval = initval
+
+    def run(self, system: SystemFacade, key: bytes, key_base: int = 0x0020_0000) -> RunResult:
+        """Hash ``key`` on ``system``; returns digest and simulated time."""
+        digest = lookup2(key, self.initval)
+        blocks = len(key) // 12
+        word_loads = blocks * 3 + ((len(key) % 12) + 3) // 4
+
+        cpu = system.cpu
+        start = cpu.now_ps
+        cpu.execute(CALL_MIX)
+        cpu.execute(BLOCK_MIX, blocks)
+        cpu.execute(TAIL_MIX)
+        charge_repeated_word_reads(system, key_base, word_loads, unique_bytes=len(key))
+        return RunResult(result=digest, elapsed_ps=cpu.now_ps - start, label=self.name)

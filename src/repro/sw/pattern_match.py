@@ -1,0 +1,86 @@
+"""Software pattern matching on the PPC405.
+
+The reference C implementation works row-wise: for each window position it
+extracts the 8-bit window slice of each of the 8 strip rows (two word loads
+when the window straddles a word boundary), XORs it with the pattern row,
+inverts, and accumulates a table-driven popcount.  The per-position cost is
+therefore ~16 external-memory word loads plus ~100 pipeline cycles — which
+is exactly why the 32-bit system, whose external SRAM is accessed uncached
+through the PLB-OPB bridge, is so much slower in software than the 64-bit
+system with its cacheable DDR (Tables 3 vs 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpu.isa import InstructionMix
+from ..errors import KernelError
+from .costmodel import RunResult, SystemFacade, charge_repeated_word_reads, charge_word_writes
+
+#: Per strip row, per position: window extract (shift/or/mask), xor with the
+#: pattern byte, invert, popcount-table lookup (the table lives in on-chip
+#: BRAM), accumulate.  The two external word loads are charged separately.
+ROW_MIX = InstructionMix(alu=10, load=2, branches=1, taken_fraction=1.0, label="pm-row")
+#: Per position: count finalisation, result packing (one store per 4
+#: positions), loop bookkeeping.
+POSITION_MIX = InstructionMix(alu=8, store=0.25, branches=2, taken_fraction=1.0, label="pm-pos")
+#: External-memory word loads per row of one position (unaligned straddle).
+LOADS_PER_ROW = 2
+#: The reference C re-reads the pattern row (``pat[row]``) from memory on
+#: every iteration — one more external load per row of each position.
+PATTERN_LOADS_PER_POSITION = 8
+#: One-time setup: pattern row registers, table pointer, strip pointers.
+SETUP_MIX = InstructionMix(alu=60, load=20, store=10, branches=10, label="pm-setup")
+
+
+def match_counts(image: np.ndarray, pattern: np.ndarray) -> np.ndarray:
+    """Reference result: match counts for every window position.
+
+    Returns an ``(H-7, W-7)`` int array; entry ``(y, x)`` is the number of
+    pixels of the 8x8 ``pattern`` equal to ``image[y:y+8, x:x+8]``.
+    """
+    img = np.asarray(image).astype(bool)
+    pat = np.asarray(pattern).astype(bool)
+    if pat.shape != (8, 8):
+        raise KernelError(f"pattern must be 8x8, got {pat.shape}")
+    if img.shape[0] < 8 or img.shape[1] < 8:
+        raise KernelError(f"image {img.shape} smaller than the pattern")
+    windows = np.lib.stride_tricks.sliding_window_view(img, (8, 8))
+    return (windows == pat).sum(axis=(2, 3)).astype(np.int32)
+
+
+class SwPatternMatch:
+    """Software pattern-matching task (compute + PPC405 cost model)."""
+
+    name = "pattern-match/sw"
+
+    def __init__(self, pattern: np.ndarray) -> None:
+        self.pattern = np.asarray(pattern).astype(bool)
+        if self.pattern.shape != (8, 8):
+            raise KernelError(f"pattern must be 8x8, got {self.pattern.shape}")
+
+    def run(self, system: SystemFacade, image: np.ndarray, image_base: int = 0x0010_0000) -> RunResult:
+        """Execute on ``system``; returns counts and simulated time."""
+        img = np.asarray(image).astype(bool)
+        counts = match_counts(img, self.pattern)
+        positions = counts.size
+        strips = counts.shape[0]
+        row_words = (img.shape[1] + 31) // 32
+
+        cpu = system.cpu
+        start = cpu.now_ps
+        cpu.execute(SETUP_MIX)
+        for strip in range(strips):
+            per_strip_positions = counts.shape[1]
+            cpu.execute(ROW_MIX, 8 * per_strip_positions)
+            cpu.execute(POSITION_MIX, per_strip_positions)
+            charge_repeated_word_reads(
+                system,
+                image_base + strip * row_words * 4,
+                total_loads=(LOADS_PER_ROW * 8 + PATTERN_LOADS_PER_POSITION) * per_strip_positions,
+                unique_bytes=8 * row_words * 4 + 8,
+            )
+        # Result counts packed four-per-word and written back.
+        charge_word_writes(system, image_base + 0x40_0000, (positions + 3) // 4)
+        return RunResult(result=counts, elapsed_ps=cpu.now_ps - start, label=self.name)

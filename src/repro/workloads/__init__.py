@@ -1,0 +1,25 @@
+"""Synthetic workload generators (images, patterns, keys)."""
+
+from .images import (
+    binary_image,
+    binary_pattern,
+    gradient_image,
+    grayscale_image,
+    planted_pattern_image,
+)
+from .keys import ascii_key, key_batch, random_key
+
+__all__ = [
+    "ascii_key",
+    "binary_image",
+    "binary_pattern",
+    "gradient_image",
+    "grayscale_image",
+    "key_batch",
+    "planted_pattern_image",
+    "random_key",
+]
+
+from .keys import zipf_key_batch  # noqa: E402
+
+__all__.append("zipf_key_batch")

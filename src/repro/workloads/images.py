@@ -1,0 +1,50 @@
+"""Synthetic image generators for the evaluation workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+
+
+def binary_image(height: int, width: int, density: float = 0.5, seed: int = 1) -> np.ndarray:
+    """A random bilevel image (bool array)."""
+    if not 0.0 <= density <= 1.0:
+        raise KernelError("density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    return rng.random((height, width)) < density
+
+
+def binary_pattern(seed: int = 2) -> np.ndarray:
+    """A random 8x8 bilevel pattern."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(8, 8)).astype(bool)
+
+
+def planted_pattern_image(
+    height: int, width: int, pattern: np.ndarray, plants: int = 3, seed: int = 3
+) -> np.ndarray:
+    """A random image with ``plants`` exact copies of ``pattern`` planted.
+
+    Handy for examples: the best match count is then exactly 64 at the
+    planted positions.
+    """
+    img = binary_image(height, width, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(plants):
+        y = int(rng.integers(0, height - 8 + 1))
+        x = int(rng.integers(0, width - 8 + 1))
+        img[y : y + 8, x : x + 8] = pattern
+    return img
+
+
+def grayscale_image(height: int, width: int, seed: int = 4) -> np.ndarray:
+    """A random 8-bit grayscale image."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(height, width), dtype=np.uint8)
+
+
+def gradient_image(height: int, width: int) -> np.ndarray:
+    """A deterministic horizontal gradient (nice for fade demos)."""
+    row = np.linspace(0, 255, width, dtype=np.uint8)
+    return np.tile(row, (height, 1))

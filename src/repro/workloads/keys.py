@@ -1,0 +1,40 @@
+"""Synthetic keys/messages for the hashing workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+
+
+def random_key(length: int, seed: int = 7) -> bytes:
+    """A random byte string of the given length."""
+    if length < 0:
+        raise KernelError("key length must be non-negative")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+
+
+def key_batch(count: int, length: int, seed: int = 8) -> list[bytes]:
+    """``count`` distinct random keys of the same length."""
+    return [random_key(length, seed=seed + i) for i in range(count)]
+
+
+def ascii_key(length: int, seed: int = 9) -> bytes:
+    """A printable-ASCII key (more realistic for hash-table workloads)."""
+    rng = np.random.default_rng(seed)
+    return bytes(int(v) for v in rng.integers(0x20, 0x7F, size=length))
+
+
+def zipf_key_batch(count: int, max_length: int = 256, a: float = 1.3, seed: int = 10) -> list[bytes]:
+    """Keys with a Zipf-like length distribution.
+
+    Hash-table workloads (the context lookup2 was published for) are
+    dominated by short keys with a long tail; this generates that shape
+    for throughput studies.
+    """
+    if count <= 0:
+        raise KernelError("batch must contain at least one key")
+    rng = np.random.default_rng(seed)
+    lengths = np.minimum(rng.zipf(a, size=count) + 3, max_length)
+    return [random_key(int(n), seed=seed + 1 + i) for i, n in enumerate(lengths)]

@@ -1,0 +1,97 @@
+"""Tests for the lower-bound assessment tools."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Method,
+    TaskProfile,
+    assess,
+    best_method,
+    hardware_lower_bound_ps,
+    measure_transfer_costs,
+)
+from repro.core.apps import HwJenkinsHash
+from repro.errors import TransferError
+from repro.sw import SwJenkinsHash
+from repro.workloads import random_key
+
+
+def test_costs_measured_for_both_systems(system32, system64):
+    costs32 = measure_transfer_costs(system32)
+    costs64 = measure_transfer_costs(system64)
+    assert not costs32.supports_dma
+    assert costs64.supports_dma
+    assert costs32.pio_write_ns > costs64.pio_write_ns
+
+
+def test_profile_validation():
+    with pytest.raises(TransferError):
+        TaskProfile("bad", words_in=-1, words_out=0)
+
+
+def test_lower_bound_scales_with_volume(system32):
+    costs = measure_transfer_costs(system32)
+    small = hardware_lower_bound_ps(costs, TaskProfile("s", 100, 100), Method.PIO, 5000)
+    large = hardware_lower_bound_ps(costs, TaskProfile("l", 200, 200), Method.PIO, 5000)
+    assert large == pytest.approx(2 * small, rel=0.01)
+
+
+def test_dma_rejected_on_32bit(system32):
+    costs = measure_transfer_costs(system32)
+    with pytest.raises(TransferError):
+        hardware_lower_bound_ps(costs, TaskProfile("x", 1, 1), Method.DMA, 5000)
+
+
+def test_lower_bound_below_actual_hw_time(system32, manager32):
+    """The bound must be optimistic: no real driver can beat it."""
+    manager32.load("lookup2")
+    key = random_key(2048, seed=70)
+    hw = HwJenkinsHash().run(system32, key)
+    profile = TaskProfile("lookup2", words_in=len(key) // 4, words_out=1)
+    result = assess(system32, profile, software_ps=10**9, method=Method.PIO)
+    assert result.lower_bound_ps < hw.elapsed_ps
+
+
+def test_assessment_predicts_hash_is_marginal(system32):
+    """The paper's own conclusion for lookup2: transfer-bound, little to win."""
+    key = random_key(4096, seed=71)
+    sw = SwJenkinsHash().run(system32, key)
+    profile = TaskProfile("lookup2", words_in=len(key) // 4, words_out=1)
+    result = assess(system32, profile, software_ps=sw.elapsed_ps)
+    assert result.max_speedup < 3  # no hash kernel can blow past software here
+
+
+def test_assessment_predicts_patmatch_can_win(system32, pattern):
+    """Pattern matching moves few words per position: huge headroom."""
+    from repro.sw import SwPatternMatch
+    from repro.workloads import binary_image
+
+    image = binary_image(16, 40, seed=72)
+    sw = SwPatternMatch(pattern).run(system32, image)
+    positions = (16 - 7) * (40 - 7)
+    profile = TaskProfile("patmatch", words_in=positions // 4, words_out=positions // 4)
+    result = assess(system32, profile, software_ps=sw.elapsed_ps)
+    assert result.worthwhile
+    assert result.max_speedup > 26
+
+
+def test_best_method_prefers_dma_on_64bit(system64):
+    profile = TaskProfile("stream", words_in=4096, words_out=4096, prep_cycles=0)
+    result = best_method(system64, profile, software_ps=10**10)
+    assert result.method is Method.DMA
+
+
+def test_prep_cycles_shrink_the_headroom(system64):
+    base = TaskProfile("t", 1024, 1024)
+    heavy = TaskProfile("t", 1024, 1024, prep_cycles=1_000_000)
+    sw = 10**9
+    light_result = best_method(system64, base, sw)
+    heavy_result = best_method(system64, heavy, sw)
+    assert heavy_result.max_speedup < light_result.max_speedup
+
+
+def test_assessment_str_mentions_verdict(system32):
+    result = assess(system32, TaskProfile("demo", 10, 10), software_ps=10**9)
+    assert "demo" in str(result)
+    assert "max speedup" in str(result)

@@ -1,0 +1,86 @@
+"""Tests for the .bit file container."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.bitstream import Bitstream, BitstreamKind
+from repro.bitstream.fileio import BitFileHeader, read_bit_file, write_bit_file
+from repro.errors import BitstreamError
+from repro.fabric.device import XC2VP4
+from repro.fabric.frames import BlockType, FrameAddress
+
+
+@pytest.fixture
+def stream():
+    words = XC2VP4.words_per_frame
+    frames = [
+        (FrameAddress(BlockType.CLB, 2, 5), np.full(words, 0xA1B2C3D4, dtype=np.uint32)),
+        (FrameAddress(BlockType.CLB, 3, 0), np.arange(words, dtype=np.uint32)),
+    ]
+    return Bitstream("XC2VP4", BitstreamKind.PARTIAL_COMPLETE, frames=frames,
+                     description="unit-test design")
+
+
+def test_roundtrip_frames_and_header(tmp_path, stream):
+    path = tmp_path / "design.bit"
+    written = write_bit_file(path, stream, design_name="demo", date="2006-04-25")
+    loaded, header = read_bit_file(path)
+    assert header == written
+    assert header.design_name == "demo"
+    assert header.part_name == "xc2vp4"
+    assert loaded.addresses() == stream.addresses()
+    for (a1, d1), (a2, d2) in zip(stream.frames, loaded.frames):
+        assert a1 == a2 and np.array_equal(d1, d2)
+
+
+def test_default_design_name_from_description(tmp_path, stream):
+    header = write_bit_file(tmp_path / "x.bit", stream)
+    assert header.design_name == "unit-test design"
+
+
+def test_bad_preamble_rejected(tmp_path):
+    path = tmp_path / "junk.bit"
+    path.write_bytes(b"not a bit file at all")
+    with pytest.raises(BitstreamError, match="preamble"):
+        read_bit_file(path)
+
+
+def test_truncated_payload_rejected(tmp_path, stream):
+    path = tmp_path / "trunc.bit"
+    write_bit_file(path, stream)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-10])
+    with pytest.raises(BitstreamError, match="truncated"):
+        read_bit_file(path)
+
+
+def test_corrupted_payload_fails_crc(tmp_path, stream):
+    path = tmp_path / "corrupt.bit"
+    write_bit_file(path, stream)
+    blob = bytearray(path.read_bytes())
+    blob[-40] ^= 0xFF  # flip a payload byte
+    path.write_bytes(bytes(blob))
+    with pytest.raises(BitstreamError):
+        read_bit_file(path)
+
+
+def test_header_part_mismatch_detected(tmp_path, stream):
+    path = tmp_path / "mismatch.bit"
+    write_bit_file(path, stream)
+    blob = path.read_bytes()
+    # Forge the part-name field without touching the payload.
+    patched = blob.replace(b"xc2vp4\x00", b"xc2vp7\x00", 1)
+    path.write_bytes(patched)
+    with pytest.raises(BitstreamError, match="IDCODE"):
+        read_bit_file(path)
+
+
+def test_header_rejects_nul():
+    with pytest.raises(BitstreamError):
+        BitFileHeader(design_name="a\x00b", part_name="x", date="d", time="t")
+
+
+def test_file_size_reasonable(tmp_path, stream):
+    path = tmp_path / "size.bit"
+    write_bit_file(path, stream)
+    assert path.stat().st_size >= stream.word_count * 4

@@ -1,0 +1,98 @@
+"""Tests for the configuration packet protocol."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.packets import (
+    SYNC_WORD,
+    TYPE1_MAX_WORDS,
+    Command,
+    PacketReader,
+    PacketWriter,
+    Register,
+)
+from repro.errors import BitstreamError, CRCError
+
+
+def roundtrip(writer: PacketWriter):
+    return list(PacketReader(writer.finish()).packets())
+
+
+def test_simple_register_write_roundtrip():
+    w = PacketWriter()
+    w.write_command(Command.RCRC)
+    w.write_register(Register.FAR, [0x1234])
+    packets = roundtrip(w)
+    far = [p for p in packets if p.register is Register.FAR]
+    assert far and far[0].payload == (0x1234,)
+
+
+def test_long_write_uses_type2():
+    w = PacketWriter()
+    w.write_command(Command.RCRC)
+    payload = list(range(TYPE1_MAX_WORDS + 10))
+    w.write_register(Register.FDRI, payload)
+    packets = roundtrip(w)
+    fdri = [p for p in packets if p.register is Register.FDRI and p.payload]
+    assert fdri[0].payload == tuple(v & 0xFFFFFFFF for v in payload)
+
+
+def test_stream_begins_with_sync():
+    words = PacketWriter().finish()
+    assert SYNC_WORD in (int(w) for w in words[:2])
+
+
+def test_crc_checked_on_read():
+    w = PacketWriter()
+    w.write_command(Command.RCRC)
+    w.write_register(Register.FAR, [7])
+    words = w.finish().copy()
+    # Corrupt the FAR payload: CRC check must fail.
+    idx = int(np.where(words == 7)[0][0])
+    words[idx] = 8
+    with pytest.raises(CRCError):
+        list(PacketReader(words).packets())
+
+
+def test_rcrc_resets_running_crc():
+    w = PacketWriter()
+    w.write_register(Register.FAR, [1])
+    w.write_command(Command.RCRC)
+    w.write_register(Register.FAR, [2])
+    packets = roundtrip(w)  # must not raise
+    assert sum(1 for p in packets if p.register is Register.FAR) == 2
+
+
+def test_desync_present_at_end():
+    packets = roundtrip(PacketWriter())
+    cmd_values = [p.payload[0] for p in packets if p.register is Register.CMD and p.payload]
+    assert Command.DESYNC in cmd_values
+
+
+def test_reader_rejects_garbage_before_sync():
+    with pytest.raises(BitstreamError):
+        list(PacketReader(np.array([0x123, SYNC_WORD], dtype=np.uint32)).packets())
+
+
+def test_reader_requires_sync():
+    with pytest.raises(BitstreamError):
+        list(PacketReader(np.array([0xFFFFFFFF], dtype=np.uint32)).packets())
+
+
+def test_truncated_packet_detected():
+    w = PacketWriter()
+    w.write_command(Command.RCRC)
+    w.write_register(Register.FDRI, [1, 2, 3, 4])
+    words = w.finish()[:-6]  # chop the tail mid-payload is messy; chop CRC
+    # removing words mid-stream must raise either truncation or CRC error
+    with pytest.raises(BitstreamError):
+        list(PacketReader(words[:5]).packets())
+
+
+def test_payload_word_masking():
+    w = PacketWriter()
+    w.write_command(Command.RCRC)
+    w.write_register(Register.FAR, [0x1_FFFF_FFFF])
+    packets = roundtrip(w)
+    far = [p for p in packets if p.register is Register.FAR][0]
+    assert far.payload == (0xFFFFFFFF,)

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_devices_lists_catalog(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "XC2VP7" in out
+    assert "XC2VP30" in out
+    assert "4928" in out  # XC2VP7 slices
+
+
+def test_info_32(capsys):
+    assert main(["info", "--system", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "system32" in out
+    assert "OPB Dock" in out
+    assert "1232 slices" in out
+
+
+def test_info_64(capsys):
+    assert main(["info", "--system", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "PLB Dock" in out
+
+
+def test_info_dual(capsys):
+    assert main(["info", "--system", "dual"]) == 0
+    out = capsys.readouterr().out
+    assert "Dock B" in out
+
+
+def test_floorplan_generic(capsys):
+    assert main(["floorplan", "--system", "generic"]) == 0
+    assert "dynamic" in capsys.readouterr().out
+
+
+def test_floorplan_system(capsys):
+    assert main(["floorplan", "--system", "64"]) == 0
+    assert "XC2VP30" in capsys.readouterr().out
+
+
+def test_transfers_32(capsys):
+    assert main(["transfers", "--system", "32", "--words", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "PIO write" in out
+    assert "DMA" not in out  # 32-bit system has no DMA
+
+
+def test_transfers_64_includes_dma(capsys):
+    assert main(["transfers", "--system", "64", "--words", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "DMA write/read" in out
+
+
+def test_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "loaded 'brightness'" in out
+
+
+def test_demo_with_verify(capsys):
+    assert main(["demo", "--verify"]) == 0
+    assert "readback verify" in capsys.readouterr().out
+
+
+def test_trace_summary(capsys):
+    assert main(["trace", "--words", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "bus transactions recorded" in out
+    assert "opb32:" in out
+
+
+def test_trace_csv(capsys):
+    assert main(["trace", "--words", "8", "--csv", "--head", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "time_ps,source,kind" in out
+
+
+def test_unknown_command_errors():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_unknown_system_errors():
+    with pytest.raises(SystemExit):
+        main(["info", "--system", "128"])
+
+
+def test_assess_command(capsys):
+    assert main([
+        "assess", "--words-in", "1000", "--words-out", "1000",
+        "--software-us", "5000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "max speedup" in out
+    assert "candidate" in out
+
+
+def test_assess_both_methods_on_64(capsys):
+    assert main([
+        "assess", "--system", "64", "--words-in", "100", "--words-out", "100",
+        "--software-us", "100",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "via pio" in out
+    assert "via dma" in out

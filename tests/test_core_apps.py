@@ -1,0 +1,165 @@
+"""Tests for the hardware application drivers (bit-exact vs software)."""
+
+import numpy as np
+import pytest
+
+from repro.core.apps import (
+    HwBlendDma,
+    HwBlendPio,
+    HwBrightnessDma,
+    HwBrightnessPio,
+    HwFadeDma,
+    HwFadePio,
+    HwJenkinsHash,
+    HwPatternMatch,
+    HwSha1,
+)
+from repro.errors import KernelError, ReconfigurationError
+from repro.kernels import lookup2, sha1
+from repro.sw import (
+    SwBlend,
+    SwBrightness,
+    SwFade,
+    SwJenkinsHash,
+    SwPatternMatch,
+    SwSha1,
+    match_counts,
+)
+from repro.workloads import binary_image, grayscale_image, random_key
+
+
+def test_driver_requires_matching_kernel(system32, manager32):
+    manager32.load("brightness")
+    with pytest.raises(ReconfigurationError, match="reconfigure"):
+        HwPatternMatch().run(system32, binary_image(8, 16))
+
+
+def test_driver_requires_any_kernel(system32):
+    with pytest.raises(ReconfigurationError):
+        HwJenkinsHash().run(system32, b"key")
+
+
+def test_pattern_match_hw_equals_reference(system32, manager32, pattern):
+    manager32.load("patmatch")
+    image = binary_image(12, 32, seed=21)
+    result = HwPatternMatch().run(system32, image)
+    assert np.array_equal(result.result, match_counts(image, pattern))
+    assert result.elapsed_ps > 0
+
+
+def test_pattern_match_hw_equals_sw_task(system32, manager32, pattern):
+    manager32.load("patmatch")
+    image = binary_image(10, 24, seed=22)
+    hw = HwPatternMatch().run(system32, image)
+    sw = SwPatternMatch(pattern).run(system32, image)
+    assert np.array_equal(hw.result, sw.result)
+
+
+def test_hash_hw_equals_reference(system32, manager32):
+    manager32.load("lookup2")
+    key = random_key(100, seed=23)
+    result = HwJenkinsHash().run(system32, key)
+    assert result.result == lookup2(key)
+
+
+def test_hash_hw_equals_sw_task(system32, manager32):
+    manager32.load("lookup2")
+    key = random_key(61, seed=24)
+    hw = HwJenkinsHash().run(system32, key)
+    sw = SwJenkinsHash().run(system32, key)
+    assert hw.result == sw.result
+
+
+def test_sha1_hw_equals_hashlib(system64, manager64):
+    import hashlib
+
+    manager64.load("sha1")
+    message = random_key(300, seed=25)
+    result = HwSha1().run(system64, message)
+    assert result.result == hashlib.sha1(message).digest()
+
+
+def test_sha1_sw_task_matches(system64, manager64):
+    manager64.load("sha1")
+    message = random_key(129, seed=26)
+    hw = HwSha1().run(system64, message)
+    sw = SwSha1().run(system64, message)
+    assert hw.result == sw.result == sha1(message)
+
+
+def test_brightness_pio_matches_sw(system32, manager32):
+    manager32.load("brightness")
+    image = grayscale_image(12, 16, seed=27)
+    hw = HwBrightnessPio().run(system32, image)
+    sw = SwBrightness(32).run(system32, image)
+    assert np.array_equal(hw.result, sw.result)
+    assert hw.result.shape == image.shape
+
+
+def test_blend_pio_matches_sw(system32, manager32, gray_pair):
+    manager32.load("blend")
+    a, b = gray_pair
+    hw = HwBlendPio().run(system32, a, b)
+    sw = SwBlend().run(system32, a, b)
+    assert np.array_equal(hw.result, sw.result)
+    assert "data_preparation_ps" in hw.breakdown
+    assert 0 < hw.breakdown["data_preparation_ps"] < hw.elapsed_ps
+
+
+def test_fade_pio_matches_sw(system32, manager32, gray_pair):
+    manager32.load("fade")
+    a, b = gray_pair
+    hw = HwFadePio().run(system32, a, b)
+    sw = SwFade(0.5).run(system32, a, b)
+    assert np.array_equal(hw.result, sw.result)
+
+
+def test_brightness_dma_matches_sw(system64, manager64):
+    manager64.load("brightness")
+    image = grayscale_image(16, 16, seed=28)
+    hw = HwBrightnessDma().run(system64, image)
+    sw = SwBrightness(32).run(system64, image)
+    assert np.array_equal(hw.result, sw.result)
+
+
+def test_blend_dma_matches_sw(system64, manager64, gray_pair):
+    manager64.load("blend")
+    a, b = gray_pair
+    hw = HwBlendDma().run(system64, a, b)
+    sw = SwBlend().run(system64, a, b)
+    assert np.array_equal(hw.result, sw.result)
+    assert hw.breakdown["data_preparation_ps"] > 0
+
+
+def test_fade_dma_matches_sw(system64, manager64, gray_pair):
+    manager64.load("fade")
+    a, b = gray_pair
+    hw = HwFadeDma().run(system64, a, b)
+    sw = SwFade(0.5).run(system64, a, b)
+    assert np.array_equal(hw.result, sw.result)
+
+
+def test_dma_drivers_rejected_on_32bit(system32, manager32):
+    manager32.load("brightness")
+    with pytest.raises(KernelError, match="PLB Dock"):
+        HwBrightnessDma().run(system32, grayscale_image(8, 8))
+
+
+def test_two_source_shape_mismatch(system32, manager32):
+    manager32.load("blend")
+    with pytest.raises(KernelError):
+        HwBlendPio().run(system32, grayscale_image(8, 8), grayscale_image(8, 16))
+
+
+def test_odd_sized_image_roundtrip(system64, manager64):
+    manager64.load("brightness")
+    image = grayscale_image(5, 7, seed=29)  # 35 px: exercises padding
+    hw = HwBrightnessDma().run(system64, image)
+    assert np.array_equal(hw.result, SwBrightness(32).run(system64, image).result)
+
+
+def test_pio_brightness_odd_size(system32, manager32):
+    manager32.load("brightness")
+    image = grayscale_image(3, 7, seed=30)  # 21 px: partial final word
+    hw = HwBrightnessPio().run(system32, image)
+    assert np.array_equal(hw.result, SwBrightness(32).run(system32, image).result)

@@ -1,0 +1,63 @@
+"""Tests for the boot-configuration study."""
+
+import pytest
+
+from repro.bitstream.bitstream import BitstreamKind
+from repro.core.boot import (
+    BOOT_OVERHEAD_PS,
+    boot_time_report,
+    compare_reconfiguration,
+    full_bitstream,
+)
+
+
+def test_full_bitstream_covers_every_frame(system32):
+    stream = full_bitstream(system32)
+    assert stream.kind is BitstreamKind.FULL
+    assert stream.frame_count == system32.device.total_frames
+    assert not stream.is_partial
+
+
+def test_full_bitstream_matches_boot_state(system32):
+    """The boot image reproduces the static design the system booted with
+    (outside the dynamic region, which boots cleared)."""
+    import numpy as np
+
+    stream = full_bitstream(system32)
+    region_addresses = set(system32.region.frame_addresses)
+    sampled = 0
+    for address, data in stream.frames:
+        if address in region_addresses:
+            continue
+        assert np.array_equal(system32.config_memory.read_frame(address), data)
+        sampled += 1
+        if sampled >= 20:
+            break
+    assert sampled == 20
+
+
+def test_boot_report_sizes(system32, system64):
+    report32 = boot_time_report(system32)
+    report64 = boot_time_report(system64)
+    assert report32.byte_size > 300_000  # ~half a MB class device
+    assert report64.byte_size > report32.byte_size  # bigger device
+    assert report32.load_ps > BOOT_OVERHEAD_PS
+    assert report32.destroys_system_state
+
+
+def test_comparison_shape(system32, manager32):
+    comparison = compare_reconfiguration(system32, manager32, "brightness")
+    assert comparison.bandwidth_ratio > 1  # external port is faster per byte
+    assert comparison.partial_byte_size < comparison.boot.byte_size
+    assert comparison.partial_keeps_system_alive
+    assert "keeps running" in comparison.summary()
+
+
+def test_partial_slower_despite_smaller(system32, manager32):
+    """The paper-era irony: the internal path is slower per byte, and the
+    partial load can take longer than a full external reload — its value
+    is not speed, it is that the system stays up."""
+    comparison = compare_reconfiguration(system32, manager32, "brightness")
+    partial_bw = comparison.partial_byte_size / comparison.partial_load_ps
+    full_bw = comparison.boot.byte_size / (comparison.boot.load_ps - BOOT_OVERHEAD_PS)
+    assert full_bw > partial_bw

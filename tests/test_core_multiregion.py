@@ -1,0 +1,99 @@
+"""Tests for the dual-dynamic-area extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiregion import build_system64_dual
+from repro.core.reconfig import ReconfigManager
+from repro.errors import ResourceError
+from repro.kernels import BrightnessKernel, JenkinsHashKernel, Sha1Kernel, lookup2
+from repro.kernels.jenkins_hash import LENGTH_OFFSET, key_to_words
+from repro.sw import brightness_ref
+from repro.workloads import grayscale_image, random_key
+
+
+@pytest.fixture(scope="module")
+def dual():
+    return build_system64_dual()
+
+
+def test_regions_disjoint(dual):
+    system, slot = dual
+    assert not system.region.rect.overlaps(slot.region.rect)
+    assert slot.region.resources.slices > 0
+
+
+def test_static_design_still_fits(dual):
+    system, slot = dual
+    budget = system.device.capacity - system.region.resources - slot.region.resources
+    assert system.static_resources().fits_within(budget)
+
+
+def test_docks_have_distinct_windows(dual):
+    system, slot = dual
+    assert slot.dock.base != system.dock.base
+    assert slot.dock.dma is not None
+
+
+def test_both_kernels_resident_simultaneously():
+    system, slot = build_system64_dual()
+    manager_a = ReconfigManager(system)
+    manager_b = ReconfigManager(system, slot=slot)
+    manager_a.register(BrightnessKernel(16))
+    manager_b.register(JenkinsHashKernel())
+    manager_a.load("brightness")
+    manager_b.load("lookup2")
+
+    # Kernel A still attached and functional after loading B.
+    assert system.dock.kernel is not None and system.dock.kernel.name == "brightness"
+    assert slot.dock.kernel is not None and slot.dock.kernel.name == "lookup2"
+
+    # Drive both through their own docks.
+    cpu = system.cpu
+    image = grayscale_image(4, 8, seed=60)
+    words = [int(v) for v in np.asarray(image, dtype=np.uint8).ravel().view("<u4")]
+    outs = []
+    for word in words:
+        cpu.io_write(system.dock.base, word)
+        outs.append(cpu.io_read(system.dock.base))
+    pixels = np.array(outs, dtype="<u4").view(np.uint8)[: image.size]
+    assert np.array_equal(pixels.reshape(image.shape), brightness_ref(image, 16))
+
+    key = random_key(24, seed=61)
+    cpu.io_write(slot.dock.base + LENGTH_OFFSET, len(key))
+    for word in key_to_words(key):
+        cpu.io_write(slot.dock.base, word)
+    assert cpu.io_read(slot.dock.base) == lookup2(key)
+
+
+def test_loading_b_preserves_a_configuration():
+    system, slot = build_system64_dual()
+    manager_a = ReconfigManager(system)
+    manager_b = ReconfigManager(system, slot=slot)
+    manager_a.register(BrightnessKernel(16))
+    manager_b.register(JenkinsHashKernel())
+    manager_a.load("brightness")
+    frames_a = {
+        address: system.config_memory.read_frame(address)
+        for address in system.region.frame_addresses
+    }
+    manager_b.load("lookup2")  # would raise if it disturbed region A
+    for address, frame in frames_a.items():
+        assert (system.config_memory.read_frame(address) == frame).all()
+
+
+def test_secondary_region_rejects_big_kernels():
+    system, slot = build_system64_dual()
+    manager_b = ReconfigManager(system, slot=slot)
+    with pytest.raises(ResourceError):
+        manager_b.register(Sha1Kernel())  # too wide for the small region
+
+
+def test_secondary_dock_interrupt_line(dual):
+    system, slot = dual
+    assert slot.dock.irq_source != system.dock.irq_source
+
+
+def test_module_inventory_lists_second_dock(dual):
+    system, slot = dual
+    assert any("Dock B" in m.name for m in system.modules)

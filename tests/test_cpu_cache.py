@@ -1,0 +1,113 @@
+"""Tests for the tag-only cache model."""
+
+import pytest
+
+from repro.cpu.cache import Cache
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def cache():
+    return Cache(size_bytes=1024, line_bytes=32, ways=2)  # 16 sets
+
+
+def test_geometry_must_divide():
+    with pytest.raises(SimulationError):
+        Cache(size_bytes=1000, line_bytes=32, ways=2)
+
+
+def test_cold_miss_then_hit(cache):
+    hit, evicted = cache.access(0x100)
+    assert not hit and evicted is None
+    hit, _ = cache.access(0x104)  # same line
+    assert hit
+
+
+def test_line_base(cache):
+    assert cache.line_base(0x47) == 0x40
+
+
+def test_two_way_associativity(cache):
+    # Three lines mapping to the same set: third access evicts the LRU.
+    stride = cache.set_count * cache.line_bytes
+    cache.access(0)
+    cache.access(stride)
+    cache.access(2 * stride)
+    assert not cache.contains(0)
+    assert cache.contains(stride)
+    assert cache.contains(2 * stride)
+
+
+def test_lru_updated_on_hit(cache):
+    stride = cache.set_count * cache.line_bytes
+    cache.access(0)
+    cache.access(stride)
+    cache.access(0)  # refresh line 0
+    cache.access(2 * stride)  # evicts stride, not 0
+    assert cache.contains(0)
+    assert not cache.contains(stride)
+
+
+def test_dirty_eviction_returns_address(cache):
+    stride = cache.set_count * cache.line_bytes
+    cache.access(0, write=True)
+    cache.access(stride)
+    _, evicted = cache.access(2 * stride)
+    assert evicted == 0
+
+
+def test_clean_eviction_returns_none(cache):
+    stride = cache.set_count * cache.line_bytes
+    cache.access(0)
+    cache.access(stride)
+    _, evicted = cache.access(2 * stride)
+    assert evicted is None
+
+
+def test_invalidate_clears_everything(cache):
+    cache.access(0, write=True)
+    cache.invalidate()
+    assert not cache.contains(0)
+    assert cache.dirty_line_count() == 0
+
+
+def test_stats_track_hits_misses(cache):
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.get("misses") == 1
+    assert cache.stats.get("hits") == 1
+
+
+def test_stream_cold_misses_every_line(cache):
+    misses, evictions = cache.stream(0, 10 * cache.line_bytes)
+    assert misses == 10
+    assert evictions == 0
+
+
+def test_stream_partial_line_counts_whole_line(cache):
+    misses, _ = cache.stream(8, 8)  # inside one line
+    assert misses == 1
+
+
+def test_stream_resident_rescan_hits(cache):
+    cache.stream(0, 8 * cache.line_bytes)
+    misses, _ = cache.stream(0, 8 * cache.line_bytes)
+    assert misses == 0
+
+
+def test_stream_write_longer_than_cache_evicts_dirty(cache):
+    capacity = cache.size_bytes
+    misses, evictions = cache.stream(0, 4 * capacity, write=True)
+    assert misses == 4 * capacity // cache.line_bytes
+    assert evictions > 0
+
+
+def test_stream_zero_bytes(cache):
+    assert cache.stream(0, 0) == (0, 0)
+
+
+def test_stream_leaves_tail_resident(cache):
+    cache.stream(0, 4 * cache.size_bytes)
+    tail_line = 4 * cache.size_bytes - cache.line_bytes
+    assert cache.contains(tail_line)
+    assert not cache.contains(0)

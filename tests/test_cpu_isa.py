@@ -1,0 +1,105 @@
+"""Tests for the PPC405 instruction-cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.isa import (
+    CALL_OVERHEAD,
+    CPI_BRANCH_NOT_TAKEN,
+    CPI_BRANCH_TAKEN,
+    CPI_MUL,
+    LOOP_OVERHEAD,
+    InstructionMix,
+)
+
+
+def test_alu_is_single_cycle():
+    assert InstructionMix(alu=10).cycles() == 10
+
+
+def test_mul_is_multi_cycle():
+    assert InstructionMix(mul=2).cycles() == 2 * CPI_MUL
+
+
+def test_taken_branch_costs_refill():
+    taken = InstructionMix(branches=1, taken_fraction=1.0).cycles()
+    not_taken = InstructionMix(branches=1, taken_fraction=0.0).cycles()
+    assert taken == CPI_BRANCH_TAKEN
+    assert not_taken == CPI_BRANCH_NOT_TAKEN
+    assert taken > not_taken
+
+
+def test_mixed_branch_fraction():
+    mix = InstructionMix(branches=10, taken_fraction=0.5)
+    assert mix.cycles() == 5 * CPI_BRANCH_TAKEN + 5 * CPI_BRANCH_NOT_TAKEN
+
+
+def test_instruction_count():
+    mix = InstructionMix(alu=2, mul=1, load=3, store=1, branches=2)
+    assert mix.instructions == 9
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        InstructionMix(alu=-1)
+
+
+def test_bad_fraction_rejected():
+    with pytest.raises(ValueError):
+        InstructionMix(branches=1, taken_fraction=1.5)
+
+
+def test_addition_merges_counts():
+    total = InstructionMix(alu=2, branches=2, taken_fraction=1.0) + InstructionMix(
+        alu=3, branches=2, taken_fraction=0.0
+    )
+    assert total.alu == 5
+    assert total.branches == 4
+    assert total.taken_fraction == 0.5
+
+
+def test_addition_without_branches_keeps_default_fraction():
+    total = InstructionMix(alu=1) + InstructionMix(load=1)
+    assert total.taken_fraction == 1.0
+
+
+def test_scaling():
+    mix = InstructionMix(alu=2, load=1) * 3
+    assert mix.alu == 6
+    assert mix.load == 3
+
+
+def test_scaling_negative_rejected():
+    with pytest.raises(ValueError):
+        InstructionMix(alu=1) * -2
+
+
+def test_loop_overhead_shape():
+    assert LOOP_OVERHEAD.branches == 1
+    assert LOOP_OVERHEAD.taken_fraction == 1.0
+
+
+def test_call_overhead_includes_memory_ops():
+    assert CALL_OVERHEAD.load > 0 and CALL_OVERHEAD.store > 0
+
+
+mixes = st.builds(
+    InstructionMix,
+    alu=st.floats(0, 100),
+    mul=st.floats(0, 20),
+    load=st.floats(0, 50),
+    store=st.floats(0, 50),
+    branches=st.floats(0, 30),
+    taken_fraction=st.floats(0, 1),
+)
+
+
+@given(mixes, mixes)
+def test_cycles_additive(a, b):
+    assert (a + b).cycles() == pytest.approx(a.cycles() + b.cycles())
+
+
+@given(mixes, st.floats(0, 10))
+def test_cycles_scale_linearly(mix, factor):
+    assert (mix * factor).cycles() == pytest.approx(mix.cycles() * factor)

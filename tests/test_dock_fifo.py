@@ -1,0 +1,76 @@
+"""Tests for the PLB Dock's output FIFO."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dock.fifo import PAPER_FIFO_DEPTH, OutputFifo
+from repro.errors import TransferError
+
+
+def test_paper_depth_is_2047():
+    # "The current output FIFO stores up to 2047 64-bit values."
+    assert PAPER_FIFO_DEPTH == 2047
+    assert OutputFifo().depth == 2047
+
+
+def test_push_pop_fifo_order():
+    fifo = OutputFifo(depth=4)
+    fifo.push_many([1, 2, 3])
+    assert fifo.pop_many(3) == [1, 2, 3]
+
+
+def test_len_free_full_empty():
+    fifo = OutputFifo(depth=2)
+    assert fifo.empty and fifo.free == 2
+    fifo.push(1)
+    assert len(fifo) == 1 and fifo.free == 1
+    fifo.push(2)
+    assert fifo.full
+
+
+def test_overflow_raises_and_counts():
+    fifo = OutputFifo(depth=1)
+    fifo.push(1)
+    with pytest.raises(TransferError):
+        fifo.push(2)
+    assert fifo.overflows == 1
+
+
+def test_pop_empty_raises():
+    with pytest.raises(TransferError):
+        OutputFifo(depth=1).pop()
+
+
+def test_pop_many_bounds_checked():
+    fifo = OutputFifo(depth=4)
+    fifo.push(1)
+    with pytest.raises(TransferError):
+        fifo.pop_many(2)
+
+
+def test_values_masked_to_width():
+    fifo = OutputFifo(depth=2, width_bits=32)
+    fifo.push(0x1_FFFF_FFFF)
+    assert fifo.pop() == 0xFFFFFFFF
+
+
+def test_invalid_geometry():
+    with pytest.raises(TransferError):
+        OutputFifo(depth=0)
+    with pytest.raises(TransferError):
+        OutputFifo(width_bits=16)
+
+
+def test_clear():
+    fifo = OutputFifo(depth=4)
+    fifo.push_many([1, 2])
+    fifo.clear()
+    assert fifo.empty
+
+
+@given(st.lists(st.integers(0, 2**64 - 1), max_size=50))
+def test_fifo_preserves_order_and_values(values):
+    fifo = OutputFifo(depth=64)
+    fifo.push_many(values)
+    assert fifo.pop_many(len(values)) == [v & (2**64 - 1) for v in values]

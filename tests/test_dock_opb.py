@@ -1,0 +1,118 @@
+"""Tests for the OPB Dock wrapper."""
+
+import pytest
+
+from repro.bus.transaction import Op, Transaction
+from repro.dock.opb_dock import EMPTY_READ_VALUE, OpbDock
+from repro.errors import KernelError
+from repro.kernels.streams import LoopbackKernel, SinkKernel
+
+BASE = 0x8000_0000
+
+
+@pytest.fixture
+def dock():
+    return OpbDock(BASE)
+
+
+def test_ports_exposed_for_bitlinker(dock):
+    assert len(dock.ports) == 3
+    names = {p.macro.name for p in dock.ports}
+    assert "dock_write32" in names
+
+
+def test_write_latch_holds_data_between_writes(dock):
+    # "The wrapper stores incoming data, so that it is kept available ...
+    #  between write operations."
+    dock.access(Transaction(Op.WRITE, BASE, data=0x1234), 0)
+    assert dock.write_latch == 0x1234
+    dock.access(Transaction(Op.READ, BASE), 0)
+    assert dock.write_latch == 0x1234
+
+
+def test_read_without_kernel_returns_floating_value(dock):
+    _, value = dock.access(Transaction(Op.READ, BASE), 0)
+    assert value == EMPTY_READ_VALUE
+
+
+def test_write_without_kernel_absorbed(dock):
+    dock.access(Transaction(Op.WRITE, BASE, data=1), 0)
+    assert dock.stats.get("words_in") == 1
+
+
+def test_kernel_receives_writes(dock):
+    sink = SinkKernel()
+    dock.attach_kernel(sink)
+    dock.access(Transaction(Op.WRITE, BASE, data=0xAB), 0)
+    assert sink.words == 1
+    assert sink.last == 0xAB
+
+
+def test_loopback_roundtrip(dock):
+    dock.attach_kernel(LoopbackKernel())
+    dock.access(Transaction(Op.WRITE, BASE, data=0xBEEF), 0)
+    _, value = dock.access(Transaction(Op.READ, BASE), 0)
+    assert value == 0xBEEF
+
+
+def test_outputs_queued_in_order(dock):
+    dock.attach_kernel(LoopbackKernel())
+    for v in (1, 2, 3):
+        dock.access(Transaction(Op.WRITE, BASE, data=v), 0)
+    values = [dock.access(Transaction(Op.READ, BASE), 0)[1] for _ in range(3)]
+    assert values == [1, 2, 3]
+
+
+def test_read_falls_back_to_register(dock):
+    sink = SinkKernel()
+    dock.attach_kernel(sink)
+    dock.access(Transaction(Op.WRITE, BASE, data=9), 0)
+    _, count = dock.access(Transaction(Op.READ, BASE), 0)  # REG_COUNT
+    assert count == 1
+
+
+def test_attach_resets_kernel(dock):
+    kernel = LoopbackKernel()
+    kernel.consume(5, 32)
+    dock.attach_kernel(kernel)
+    assert kernel.words == 0
+    assert dock.pending_outputs == 0
+
+
+def test_detach_clears_outputs(dock):
+    dock.attach_kernel(LoopbackKernel())
+    dock.access(Transaction(Op.WRITE, BASE, data=1), 0)
+    dock.detach_kernel()
+    assert dock.pending_outputs == 0
+    _, value = dock.access(Transaction(Op.READ, BASE), 0)
+    assert value == EMPTY_READ_VALUE
+
+
+def test_collect_outputs_pulls_from_kernel(dock):
+    from repro.kernels.streams import CounterSourceKernel
+
+    source = CounterSourceKernel(seed=10)
+    dock.attach_kernel(source)
+    source.generate(3, width_bits=32)
+    assert dock.collect_outputs() == 3
+    _, value = dock.access(Transaction(Op.READ, BASE), 0)
+    assert value == 10
+
+
+def test_64bit_beat_rejected(dock):
+    with pytest.raises(KernelError):
+        dock.access(Transaction(Op.WRITE, BASE, size_bytes=8, data=1), 0)
+
+
+def test_write_wait_zero_read_wait_positive(dock):
+    wait_w, _ = dock.access(Transaction(Op.WRITE, BASE, data=1), 0)
+    wait_r, _ = dock.access(Transaction(Op.READ, BASE), 0)
+    assert wait_w == 0
+    assert wait_r > 0
+
+
+def test_burst_write_delivers_each_beat(dock):
+    sink = SinkKernel()
+    dock.attach_kernel(sink)
+    dock.access(Transaction(Op.WRITE, BASE, beats=4, data=[1, 2, 3, 4]), 0)
+    assert sink.words == 4

@@ -1,0 +1,82 @@
+"""Tests for clock domains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.clock import ClockDomain, mhz
+from repro.errors import SimulationError
+
+
+def test_period_of_50mhz():
+    clk = ClockDomain("opb", mhz(50))
+    assert clk.period_ps == 20_000
+
+
+def test_period_of_200mhz():
+    clk = ClockDomain("cpu", mhz(200))
+    assert clk.period_ps == 5_000
+
+
+def test_period_of_300mhz_rounds():
+    clk = ClockDomain("cpu", mhz(300))
+    assert clk.period_ps == 3_333
+
+
+def test_freq_mhz_property():
+    assert ClockDomain("x", mhz(100)).freq_mhz == 100.0
+
+
+def test_cycles_to_ps_integral():
+    clk = ClockDomain("bus", mhz(100))
+    assert clk.cycles_to_ps(3) == 30_000
+
+
+def test_cycles_to_ps_fractional():
+    clk = ClockDomain("bus", mhz(100))
+    assert clk.cycles_to_ps(2.5) == 25_000
+
+
+def test_ps_to_cycles():
+    clk = ClockDomain("bus", mhz(50))
+    assert clk.ps_to_cycles(40_000) == 2.0
+
+
+def test_next_edge_on_edge():
+    clk = ClockDomain("bus", mhz(50))
+    assert clk.next_edge(40_000) == 40_000
+
+
+def test_next_edge_mid_cycle():
+    clk = ClockDomain("bus", mhz(50))
+    assert clk.next_edge(40_001) == 60_000
+
+
+def test_sync_delay():
+    clk = ClockDomain("bus", mhz(50))
+    assert clk.sync_delay(59_999) == 1
+    assert clk.sync_delay(60_000) == 0
+
+
+def test_zero_frequency_rejected():
+    with pytest.raises(SimulationError):
+        ClockDomain("bad", 0)
+
+
+def test_negative_frequency_rejected():
+    with pytest.raises(SimulationError):
+        ClockDomain("bad", -5)
+
+
+def test_mhz_helper():
+    assert mhz(50) == 50_000_000
+    assert mhz(0.5) == 500_000
+
+
+@given(st.integers(min_value=1, max_value=10**12))
+def test_next_edge_is_aligned_and_not_before(now):
+    clk = ClockDomain("bus", mhz(100))
+    edge = clk.next_edge(now)
+    assert edge >= now
+    assert edge % clk.period_ps == 0
+    assert edge - now < clk.period_ps

@@ -1,0 +1,205 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine.events import Simulator
+from repro.errors import ScheduleInPastError, SimulationError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(1_000)
+    sim.run()
+    assert sim.now == 1_000
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.timeout(2_000).callbacks.append(lambda ev: order.append("b"))
+    sim.timeout(1_000).callbacks.append(lambda ev: order.append("a"))
+    sim.run()
+    assert order == ["a", "b"]
+
+
+def test_same_time_events_fifo_order():
+    sim = Simulator()
+    order = []
+    for name in "abc":
+        sim.timeout(500, name).callbacks.append(lambda ev: order.append(ev.value))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_value():
+    sim = Simulator()
+    ev = sim.timeout(10, value=42)
+    sim.run()
+    assert ev.value == 42
+    assert ev.ok
+
+
+def test_event_fail_propagates_to_value():
+    sim = Simulator()
+    ev = sim.event("boom")
+    ev.fail(ValueError("boom"))
+    sim.run()
+    with pytest.raises(ValueError):
+        _ = ev.value
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ScheduleInPastError):
+        sim.timeout(-1)
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def worker():
+        yield 1_000
+        return 7
+
+    proc = sim.process(worker())
+    assert sim.run(proc) == 7
+    assert sim.now == 1_000
+
+
+def test_process_waits_on_event():
+    sim = Simulator()
+    gate = sim.event("gate")
+
+    def opener():
+        yield 500
+        gate.succeed("open")
+
+    def waiter():
+        value = yield gate
+        return value
+
+    sim.process(opener())
+    proc = sim.process(waiter())
+    assert sim.run(proc) == "open"
+    assert sim.now == 500
+
+
+def test_process_chains_sub_process():
+    sim = Simulator()
+
+    def inner():
+        yield 100
+        return 5
+
+    def outer():
+        value = yield sim.process(inner())
+        yield 100
+        return value * 2
+
+    assert sim.run(sim.process(outer())) == 10
+    assert sim.now == 200
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def broken():
+        yield 10
+        raise RuntimeError("broken process")
+
+    proc = sim.process(broken())
+    with pytest.raises(RuntimeError):
+        sim.run(proc)
+
+
+def test_process_bad_yield_fails():
+    sim = Simulator()
+
+    def bad():
+        yield "not an event"
+
+    proc = sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run(proc)
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    events = [sim.timeout(100 * (i + 1), value=i) for i in range(3)]
+    combo = sim.all_of(events)
+    assert sim.run(combo) == [0, 1, 2]
+    assert sim.now == 300
+
+
+def test_all_of_empty_is_immediate():
+    sim = Simulator()
+    combo = sim.all_of([])
+    sim.run()
+    assert combo.value == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    slow = sim.timeout(1_000, value="slow")
+    fast = sim.timeout(100, value="fast")
+    combo = sim.any_of([slow, fast])
+    assert sim.run(combo) == (1, "fast")
+
+
+def test_any_of_requires_events():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.any_of([])
+
+
+def test_run_until_time():
+    sim = Simulator()
+    fired = []
+    sim.timeout(100).callbacks.append(lambda ev: fired.append(1))
+    sim.timeout(10_000).callbacks.append(lambda ev: fired.append(2))
+    sim.run(until=5_000)
+    assert fired == [1]
+    assert sim.now == 5_000
+
+
+def test_run_until_unfired_event_raises():
+    sim = Simulator()
+    ev = sim.event("never")
+    sim.timeout(10)
+    with pytest.raises(SimulationError):
+        sim.run(ev)
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.timeout(1)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_concurrent_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def worker(name, delay):
+        for step in range(3):
+            yield delay
+            log.append((name, sim.now))
+
+    sim.process(worker("a", 100))
+    sim.process(worker("b", 150))
+    sim.run()
+    # At t=300 both fire; b's timeout was scheduled first (at t=150), so
+    # FIFO insertion order puts b ahead of a.
+    assert log == [
+        ("a", 100), ("b", 150), ("a", 200), ("b", 300), ("a", 300), ("b", 450),
+    ]

@@ -1,0 +1,68 @@
+"""Tests for statistics collection."""
+
+import pytest
+
+from repro.engine.stats import Accumulator, Counter, StatsGroup
+
+
+def test_counter_add():
+    c = Counter("x")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").add(-1)
+
+
+def test_counter_reset():
+    c = Counter("x", value=9)
+    c.reset()
+    assert c.value == 0
+
+
+def test_accumulator_statistics():
+    a = Accumulator("t")
+    for v in (1.0, 3.0, 2.0):
+        a.add(v)
+    assert a.total == 6.0
+    assert a.count == 3
+    assert a.minimum == 1.0
+    assert a.maximum == 3.0
+    assert a.mean == 2.0
+
+
+def test_accumulator_mean_empty_is_zero():
+    assert Accumulator("t").mean == 0.0
+
+
+def test_group_creates_on_first_use():
+    g = StatsGroup("bus")
+    g.count("reads")
+    g.count("reads", 2)
+    g.record("busy", 10.0)
+    assert g.get("reads") == 3
+    assert g.get("busy") == 10.0
+
+
+def test_group_get_missing_returns_zero():
+    assert StatsGroup("g").get("nothing") == 0
+
+
+def test_group_reset_resets_all():
+    g = StatsGroup("g")
+    g.count("a", 5)
+    g.record("b", 2.5)
+    g.reset()
+    assert g.get("a") == 0
+    assert g.get("b") == 0.0
+
+
+def test_group_as_dict_sorted_members():
+    g = StatsGroup("g")
+    g.count("zeta")
+    g.count("alpha")
+    g.record("mid", 1.0)
+    assert list(g.as_dict()) == ["alpha", "zeta", "mid"]

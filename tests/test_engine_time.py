@@ -1,0 +1,59 @@
+"""Tests for the picosecond time base."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.time import (
+    PS_PER_NS,
+    PS_PER_US,
+    format_time,
+    ns_from_ps,
+    ps_from_ns,
+    ps_from_s,
+    ps_from_us,
+    s_from_ps,
+    us_from_ps,
+)
+
+
+def test_ns_round_trip():
+    assert ps_from_ns(1.5) == 1_500
+    assert ns_from_ps(1_500) == 1.5
+
+
+def test_us_round_trip():
+    assert ps_from_us(2.0) == 2_000_000
+    assert us_from_ps(2_000_000) == 2.0
+
+
+def test_seconds_round_trip():
+    assert ps_from_s(0.001) == 1_000_000_000
+    assert s_from_ps(10**12) == 1.0
+
+
+def test_rounding_to_nearest_ps():
+    assert ps_from_ns(0.0004) == 0
+    assert ps_from_ns(0.0006) == 1
+
+
+def test_format_time_units():
+    assert format_time(500) == "500 ps"
+    assert format_time(1_500) == "1.500 ns"
+    assert format_time(2_000_000) == "2.000 us"
+    assert format_time(3_000_000_000) == "3.000 ms"
+    assert format_time(4 * 10**12) == "4.000 s"
+
+
+def test_constants_consistent():
+    assert PS_PER_US == 1000 * PS_PER_NS
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+def test_ns_ps_inverse_property(ps):
+    assert ps_from_ns(ns_from_ps(ps)) == ps
+
+
+@given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_ps_from_us_monotone(us):
+    assert ps_from_us(us) <= ps_from_us(us + 1.0)

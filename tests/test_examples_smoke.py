@@ -1,0 +1,56 @@
+"""Smoke tests: the fast examples must run end to end.
+
+The slower demos (full-size time-sharing, dual-region comparison) are
+exercised by their underlying unit tests; here the two quickest examples
+run verbatim so a broken import or API drift in any example-facing surface
+fails CI.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart_runs(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "speedup" in out
+    assert "reconfigured dynamic area" in out
+
+
+@pytest.mark.slow
+def test_reconfiguration_flow_runs(capsys):
+    out = run_example("reconfiguration_flow.py", capsys)
+    assert "static rows outside the region untouched: True" in out
+    assert "differential bitstream" in out
+
+
+def test_all_examples_importable():
+    """Every example must at least parse (catches API drift cheaply)."""
+    import ast
+
+    for path in sorted(EXAMPLES.glob("*.py")):
+        ast.parse(path.read_text(), filename=str(path))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "timeshared_accelerators.py",
+        "transfer_methods.py",
+        "sha1_fit_study.py",
+        "reconfiguration_flow.py",
+        "dual_dynamic_areas.py",
+        "fade_in_fade_out.py",
+        "hw_feasibility_study.py",
+    } <= names

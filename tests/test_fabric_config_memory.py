@@ -1,0 +1,112 @@
+"""Tests for the configuration memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BitstreamError
+from repro.fabric.config_memory import ConfigMemory
+from repro.fabric.device import XC2VP4
+from repro.fabric.frames import BlockType, FrameAddress
+
+
+@pytest.fixture
+def mem():
+    return ConfigMemory(XC2VP4)
+
+
+def addr(major=0, minor=0):
+    return FrameAddress(BlockType.CLB, major, minor)
+
+
+def frame_of(mem, value):
+    return np.full(mem.geometry.words_per_frame, value, dtype=np.uint32)
+
+
+def test_unwritten_frame_reads_zero(mem):
+    assert not mem.read_frame(addr()).any()
+
+
+def test_write_then_read(mem):
+    data = frame_of(mem, 0xABCD1234)
+    mem.write_frame(addr(), data)
+    assert np.array_equal(mem.read_frame(addr()), data)
+
+
+def test_read_returns_copy(mem):
+    mem.write_frame(addr(), frame_of(mem, 7))
+    out = mem.read_frame(addr())
+    out[:] = 0
+    assert mem.read_frame(addr())[0] == 7
+
+
+def test_write_wrong_size_rejected(mem):
+    with pytest.raises(BitstreamError):
+        mem.write_frame(addr(), np.zeros(3, dtype=np.uint32))
+
+
+def test_merge_frame_respects_mask(mem):
+    mem.write_frame(addr(), frame_of(mem, 0xFFFFFFFF))
+    mask = frame_of(mem, 0x0000FFFF)
+    mem.merge_frame(addr(), frame_of(mem, 0), mask)
+    assert (mem.read_frame(addr()) == 0xFFFF0000).all()
+
+
+def test_merge_on_empty_frame(mem):
+    mask = frame_of(mem, 0xFF)
+    mem.merge_frame(addr(), frame_of(mem, 0xAB), mask)
+    assert (mem.read_frame(addr()) == 0xAB).all()
+
+
+def test_snapshot_restore_roundtrip(mem):
+    mem.write_frame(addr(0), frame_of(mem, 1))
+    snap = mem.snapshot()
+    mem.write_frame(addr(0), frame_of(mem, 2))
+    mem.write_frame(addr(1), frame_of(mem, 3))
+    mem.restore(snap)
+    assert mem.read_frame(addr(0))[0] == 1
+    assert not mem.read_frame(addr(1)).any()
+
+
+def test_diff_lists_changed_frames(mem):
+    mem.write_frame(addr(0), frame_of(mem, 1))
+    baseline = mem.snapshot()
+    mem.write_frame(addr(0), frame_of(mem, 2))
+    mem.write_frame(addr(1), frame_of(mem, 9))
+    changed = dict(mem.diff(baseline))
+    assert set(changed) == {addr(0), addr(1)}
+
+
+def test_diff_empty_when_identical(mem):
+    mem.write_frame(addr(0), frame_of(mem, 4))
+    assert list(mem.diff(mem.snapshot())) == []
+
+
+def test_diff_detects_frame_cleared_vs_baseline(mem):
+    mem.write_frame(addr(2), frame_of(mem, 5))
+    baseline = mem.snapshot()
+    mem.write_frame(addr(2), frame_of(mem, 0))
+    changed = dict(mem.diff(baseline))
+    assert addr(2) in changed
+
+
+def test_frames_equal_across_memories():
+    a = ConfigMemory(XC2VP4)
+    b = ConfigMemory(XC2VP4)
+    data = np.full(a.geometry.words_per_frame, 3, dtype=np.uint32)
+    a.write_frame(addr(), data)
+    assert not a.frames_equal(addr(), b)
+    b.write_frame(addr(), data)
+    assert a.frames_equal(addr(), b)
+
+
+def test_write_counters(mem):
+    mem.write_frame(addr(), frame_of(mem, 1))
+    mem.read_frame(addr())
+    assert mem.writes == 1
+    assert mem.reads >= 1
+
+
+def test_written_addresses_sorted(mem):
+    mem.write_frame(addr(3), frame_of(mem, 1))
+    mem.write_frame(addr(1), frame_of(mem, 1))
+    assert list(mem.written_addresses()) == [addr(1), addr(3)]

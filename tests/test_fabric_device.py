@@ -1,0 +1,147 @@
+"""Tests for the device catalog — the paper's headline numbers must hold."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.device import DEVICES, XC2VP7, XC2VP30, get_device, list_devices
+from repro.fabric.geometry import Coord, Rect
+
+
+def test_xc2vp7_slice_count_matches_paper():
+    # "This FPGA has 4928 slices and 44 RAM blocks"
+    assert XC2VP7.slice_count == 4928
+    assert XC2VP7.bram_count == 44
+
+
+def test_xc2vp30_slice_count_matches_paper():
+    # "The FPGA has 13696 slices ... and 136 internal RAM blocks"
+    assert XC2VP30.slice_count == 13696
+    assert XC2VP30.bram_count == 136
+
+
+def test_xc2vp30_has_two_cpus():
+    assert XC2VP30.cpu_count == 2
+    assert XC2VP7.cpu_count == 1
+
+
+def test_slice_ratio_about_2_7():
+    # "about 2.7 times more slices than the previously used device"
+    ratio = XC2VP30.slice_count / XC2VP7.slice_count
+    assert 2.6 < ratio < 2.9
+
+
+def test_speed_grades():
+    assert XC2VP7.speed_grade == 6
+    assert XC2VP30.speed_grade == 7
+
+
+def test_get_device_case_insensitive():
+    assert get_device("xc2vp7") is XC2VP7
+
+
+def test_get_device_unknown_raises():
+    with pytest.raises(FabricError, match="known devices"):
+        get_device("XC9999")
+
+
+def test_list_devices():
+    assert set(list_devices()) == set(DEVICES)
+    assert "XC2VP7" in list_devices()
+
+
+def test_cpu_site_detection():
+    block = XC2VP7.cpu_blocks[0]
+    inside = Coord(block.col, block.row)
+    assert XC2VP7.is_cpu_site(inside)
+    assert not XC2VP7.is_cpu_site(Coord(block.col_end, block.row))
+
+
+def test_clbs_in_excludes_cpu_carve():
+    full = XC2VP7.clbs_in(XC2VP7.grid)
+    assert full == XC2VP7.clb_count
+    cpu = XC2VP7.cpu_blocks[0]
+    assert XC2VP7.clbs_in(cpu) == 0
+
+
+def test_clbs_in_rejects_out_of_grid():
+    with pytest.raises(FabricError):
+        XC2VP7.clbs_in(Rect(0, 0, XC2VP7.clb_cols + 1, 1))
+
+
+def test_bram_blocks_in_full_grid():
+    assert XC2VP7.bram_blocks_in(XC2VP7.grid) == 44
+    assert XC2VP30.bram_blocks_in(XC2VP30.grid) == 136
+
+
+def test_bram_blocks_in_partial_window():
+    column = XC2VP7.bram_columns[1]
+    window = Rect(column.col, 0, 1, XC2VP7.clb_rows)
+    assert XC2VP7.bram_blocks_in(window) == column.block_count
+
+
+def test_bram_columns_in_range():
+    cols = XC2VP7.bram_columns_in(0, XC2VP7.clb_cols)
+    assert len(cols) == 4
+
+
+def test_bram_rows_strictly_increasing():
+    for device in DEVICES.values():
+        for column in device.bram_columns:
+            rows = column.rows
+            assert all(a < b for a, b in zip(rows, rows[1:]))
+            assert rows[-1] < device.clb_rows
+
+
+def test_resources_in_window():
+    window = Rect(10, 0, 4, 8)
+    res = XC2VP7.resources_in(window)
+    assert res.slices == XC2VP7.clbs_in(window) * 4
+
+
+def test_capacity_totals():
+    cap = XC2VP7.capacity
+    assert cap.slices == 4928
+    assert cap.bram_blocks == 44
+
+
+def test_frame_geometry_totals():
+    # 22 frames per CLB column + (64+22) per BRAM column.
+    expected = XC2VP7.clb_cols * 22 + 4 * (64 + 22)
+    assert XC2VP7.total_frames == expected
+
+
+def test_words_per_frame_covers_height():
+    bits = XC2VP7.clb_rows * XC2VP7.bits_per_frame_row
+    assert XC2VP7.words_per_frame * 32 >= bits
+
+
+def test_configuration_bits_positive():
+    assert XC2VP30.configuration_bits > XC2VP7.configuration_bits > 0
+
+
+def test_catalog_extended_devices():
+    from repro.fabric.device import XC2VP20, XC2VP50
+
+    # Datasheet headline numbers for the extra catalog entries.
+    assert XC2VP20.slice_count == 9280
+    assert XC2VP20.bram_count == 88
+    assert XC2VP20.cpu_count == 2
+    assert XC2VP50.slice_count == 23616
+    assert XC2VP50.bram_count == 232
+    assert XC2VP50.cpu_count == 2
+
+
+def test_catalog_monotone_by_size():
+    from repro.fabric.device import XC2VP4, XC2VP7, XC2VP20, XC2VP30, XC2VP50
+
+    sizes = [d.slice_count for d in (XC2VP4, XC2VP7, XC2VP20, XC2VP30, XC2VP50)]
+    assert sizes == sorted(sizes)
+
+
+def test_paper_regions_fit_on_larger_devices():
+    from repro.fabric.device import XC2VP50
+    from repro.fabric.region import find_region
+
+    # The 64-bit system's region would also place on the bigger sibling.
+    region = find_region(XC2VP50, 32, 24)
+    assert region.resources.slices >= 3072

@@ -1,0 +1,93 @@
+"""Tests for CLB-grid geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RegionError
+from repro.fabric.geometry import Coord, Rect
+
+
+def test_rect_bounds():
+    r = Rect(2, 3, 4, 5)
+    assert r.col_end == 6
+    assert r.row_end == 8
+    assert r.area == 20
+
+
+def test_rect_rejects_zero_size():
+    with pytest.raises(RegionError):
+        Rect(0, 0, 0, 1)
+
+
+def test_rect_rejects_negative_origin():
+    with pytest.raises(RegionError):
+        Rect(-1, 0, 1, 1)
+
+
+def test_contains_coord():
+    r = Rect(1, 1, 2, 2)
+    assert r.contains(Coord(1, 1))
+    assert r.contains(Coord(2, 2))
+    assert not r.contains(Coord(3, 1))
+    assert not r.contains(Coord(1, 3))
+
+
+def test_contains_rect():
+    outer = Rect(0, 0, 10, 10)
+    assert outer.contains_rect(Rect(2, 2, 3, 3))
+    assert outer.contains_rect(outer)
+    assert not outer.contains_rect(Rect(8, 8, 3, 3))
+
+
+def test_overlaps_symmetry():
+    a = Rect(0, 0, 4, 4)
+    b = Rect(3, 3, 4, 4)
+    c = Rect(4, 0, 2, 2)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c) and not c.overlaps(a)
+
+
+def test_intersection():
+    a = Rect(0, 0, 4, 4)
+    b = Rect(2, 1, 4, 4)
+    inter = a.intersection(b)
+    assert inter == Rect(2, 1, 2, 3)
+
+
+def test_intersection_disjoint_is_none():
+    assert Rect(0, 0, 2, 2).intersection(Rect(5, 5, 2, 2)) is None
+
+
+def test_translated():
+    assert Rect(1, 1, 2, 2).translated(3, 4) == Rect(4, 5, 2, 2)
+
+
+def test_sites_enumeration():
+    sites = list(Rect(0, 0, 2, 3).sites())
+    assert len(sites) == 6
+    assert Coord(1, 2) in sites
+
+
+def test_coord_offset():
+    assert Coord(1, 2).offset(3, 4) == Coord(4, 6)
+
+
+def test_coord_ordering():
+    assert Coord(0, 5) < Coord(1, 0)
+
+
+@given(
+    st.integers(0, 20), st.integers(0, 20), st.integers(1, 10), st.integers(1, 10),
+    st.integers(0, 20), st.integers(0, 20), st.integers(1, 10), st.integers(1, 10),
+)
+def test_overlap_iff_intersection(c1, r1, w1, h1, c2, r2, w2, h2):
+    a = Rect(c1, r1, w1, h1)
+    b = Rect(c2, r2, w2, h2)
+    assert a.overlaps(b) == (a.intersection(b) is not None)
+
+
+@given(st.integers(0, 20), st.integers(0, 20), st.integers(1, 10), st.integers(1, 10))
+def test_intersection_with_self_is_self(col, row, w, h):
+    r = Rect(col, row, w, h)
+    assert r.intersection(r) == r

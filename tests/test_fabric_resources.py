@@ -1,0 +1,108 @@
+"""Tests for resource vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ResourceError
+from repro.fabric.resources import ResourceVector, clbs
+
+
+def test_derived_luts_and_ffs():
+    r = ResourceVector(slices=10)
+    assert r.luts == 20
+    assert r.flip_flops == 20
+
+
+def test_bram_kbits():
+    assert ResourceVector(bram_blocks=3).bram_kbits == 54
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ResourceError):
+        ResourceVector(slices=-1)
+
+
+def test_addition():
+    total = ResourceVector(slices=5, bram_blocks=1) + ResourceVector(slices=3, tbufs=2)
+    assert total == ResourceVector(slices=8, bram_blocks=1, tbufs=2)
+
+
+def test_subtraction():
+    diff = ResourceVector(slices=5, bram_blocks=2) - ResourceVector(slices=3, bram_blocks=1)
+    assert diff == ResourceVector(slices=2, bram_blocks=1)
+
+
+def test_subtraction_below_zero_rejected():
+    with pytest.raises(ResourceError):
+        ResourceVector(slices=1) - ResourceVector(slices=2)
+
+
+def test_scalar_multiplication():
+    assert 3 * ResourceVector(slices=2, mult18=1) == ResourceVector(slices=6, mult18=3)
+
+
+def test_fits_within():
+    small = ResourceVector(slices=10, bram_blocks=1)
+    big = ResourceVector(slices=20, bram_blocks=2, tbufs=5)
+    assert small.fits_within(big)
+    assert not big.fits_within(small)
+
+
+def test_fits_within_checks_every_component():
+    a = ResourceVector(slices=1, bram_blocks=5)
+    b = ResourceVector(slices=100, bram_blocks=1)
+    assert not a.fits_within(b)
+
+
+def test_shortfall():
+    demand = ResourceVector(slices=10, bram_blocks=3)
+    capacity = ResourceVector(slices=12, bram_blocks=1)
+    assert demand.shortfall(capacity) == ResourceVector(bram_blocks=2)
+
+
+def test_utilization():
+    u = ResourceVector(slices=5).utilization(ResourceVector(slices=10, bram_blocks=4))
+    assert u["slices"] == 0.5
+    assert u["bram_blocks"] == 0.0
+
+
+def test_utilization_zero_capacity_is_zero():
+    u = ResourceVector(slices=5).utilization(ResourceVector(slices=10))
+    assert u["mult18"] == 0.0
+
+
+def test_require_fit_raises_with_context():
+    with pytest.raises(ResourceError, match="short by"):
+        ResourceVector(slices=100).require_fit(ResourceVector(slices=10), what="test module")
+
+
+def test_clbs_helper():
+    assert clbs(3) == ResourceVector(slices=12)
+    assert clbs(2, bram_blocks=1).bram_blocks == 1
+
+
+vectors = st.builds(
+    ResourceVector,
+    slices=st.integers(0, 1000),
+    bram_blocks=st.integers(0, 50),
+    tbufs=st.integers(0, 100),
+    mult18=st.integers(0, 50),
+)
+
+
+@given(vectors, vectors)
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(vectors, vectors)
+def test_sum_always_fits_parts(a, b):
+    assert a.fits_within(a + b)
+    assert b.fits_within(a + b)
+
+
+@given(vectors, vectors)
+def test_shortfall_zero_iff_fits(a, b):
+    short = a.shortfall(b)
+    assert (short == ResourceVector()) == a.fits_within(b)

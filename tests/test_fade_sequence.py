@@ -1,0 +1,60 @@
+"""Tests for the fade-in-fade-out sequence driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.apps import HwFadeSequence
+from repro.errors import KernelError
+from repro.sw import fade_ref
+from repro.workloads import gradient_image, grayscale_image
+
+
+@pytest.fixture
+def fade_rig(system32, manager32):
+    manager32.load("fade")
+    a = grayscale_image(16, 16, seed=80)
+    b = gradient_image(16, 16)
+    return system32, a, b
+
+
+def test_each_step_matches_reference(fade_rig):
+    system, a, b = fade_rig
+    steps = [0.0, 0.25, 0.5, 0.75, 1.0]
+    result = HwFadeSequence().run(system, a, b, steps)
+    assert len(result.result) == len(steps)
+    for factor, frame in zip(steps, result.result):
+        assert np.array_equal(frame, fade_ref(a, b, factor)), factor
+
+
+def test_endpoints_reproduce_sources(fade_rig):
+    system, a, b = fade_rig
+    result = HwFadeSequence().run(system, a, b, [0.0, 1.0])
+    assert np.array_equal(result.result[0], b)
+    assert np.array_equal(result.result[1], a)
+
+
+def test_sequence_time_scales_with_steps(fade_rig):
+    system, a, b = fade_rig
+    two = HwFadeSequence().run(system, a, b, [0.2, 0.8]).elapsed_ps
+    four = HwFadeSequence().run(system, a, b, [0.2, 0.4, 0.6, 0.8]).elapsed_ps
+    assert four == pytest.approx(2 * two, rel=0.05)
+
+
+def test_invalid_factor_rejected(fade_rig):
+    system, a, b = fade_rig
+    with pytest.raises(KernelError):
+        HwFadeSequence().run(system, a, b, [0.5, 1.5])
+
+
+def test_breakdown_accumulates_preparation(fade_rig):
+    system, a, b = fade_rig
+    result = HwFadeSequence().run(system, a, b, [0.3, 0.6])
+    assert result.breakdown["data_preparation_ps"] > 0
+
+
+def test_requires_fade_kernel(system32, manager32):
+    manager32.load("brightness")
+    from repro.errors import ReconfigurationError
+
+    with pytest.raises(ReconfigurationError):
+        HwFadeSequence().run(system32, grayscale_image(8, 8), grayscale_image(8, 8), [0.5])

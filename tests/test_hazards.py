@@ -1,0 +1,144 @@
+"""Failure-injection tests: the hazards the paper's design choices avoid.
+
+Each test demonstrates a failure mode *happening* when the guard is
+removed — differential bitstreams applied in the wrong state, FIFO
+overflow from an unthrottled kernel, bitstream corruption, undecoded
+DMA addresses — and that the guarded path catches or avoids it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.bitlinker import Placement
+from repro.bitstream.generator import verify_preserves_static
+from repro.dock.dma import Descriptor
+from repro.errors import (
+    AddressDecodeError,
+    ReconfigurationError,
+    TransferError,
+)
+from repro.fabric.config_memory import ConfigMemory
+from repro.kernels import BrightnessKernel, JenkinsHashKernel, LoopbackKernel
+
+
+def test_differential_bitstream_wrong_state_hazard(system32):
+    """The paper's central correctness argument, demonstrated.
+
+    A differential bitstream computed against state A ("brightness is
+    loaded") is applied when the device is actually in state B ("hash is
+    loaded").  The result is neither configuration — the exact hazard
+    BitLinker's complete configurations exist to avoid.
+    """
+    bright = BrightnessKernel(5).make_component(32, system32.region.rect.height)
+    hash_core = JenkinsHashKernel().make_component(32, system32.region.rect.height)
+    linker = system32.bitlinker
+
+    complete_bright = linker.link([Placement(bright, 0, 0)])
+    complete_hash = linker.link([Placement(hash_core, 0, 0)])
+    # The hash core is wider than the brightness core — the hazard needs
+    # stale content outside the delta's coverage.
+    assert hash_core.width > bright.width
+
+    # Differential for "brightness, assuming the region is clear": it only
+    # writes the columns the brightness core touches.
+    boot = ConfigMemory(system32.device)
+    boot.restore(system32.baseline)
+    differential = linker.link_differential([Placement(bright, 0, 0)], current=boot)
+    assert 0 < differential.frame_count < complete_bright.frame_count
+
+    # But the device is actually in another state: the hash core is loaded.
+    state = ConfigMemory(system32.device)
+    state.restore(system32.baseline)
+    for address, data in complete_hash.frames:
+        state.write_frame(address, data)
+    for address, data in differential.frames:
+        state.write_frame(address, data)
+
+    # The outcome is NOT the brightness configuration: stale hash columns
+    # survive beyond the delta's coverage...
+    mismatch = sum(
+        0 if np.array_equal(state.read_frame(a), complete_bright.frame_data(a)) else 1
+        for a in complete_bright.addresses()
+    )
+    assert mismatch > 0
+
+    # ...whereas the complete bitstream lands correctly from any state.
+    for address, data in complete_bright.frames:
+        state.write_frame(address, data)
+    for address in complete_bright.addresses():
+        assert np.array_equal(state.read_frame(address), complete_bright.frame_data(address))
+
+
+def test_differential_correct_in_right_state(system32):
+    """Applied in the state it was computed for, the delta is exact."""
+    bright = BrightnessKernel(5).make_component(32, system32.region.rect.height)
+    hash_core = JenkinsHashKernel().make_component(32, system32.region.rect.height)
+    linker = system32.bitlinker
+
+    state = ConfigMemory(system32.device)
+    state.restore(system32.baseline)
+    for address, data in linker.link([Placement(bright, 0, 0)]).frames:
+        state.write_frame(address, data)
+
+    complete_hash = linker.link([Placement(hash_core, 0, 0)])
+    differential = linker.link_differential([Placement(hash_core, 0, 0)], current=state)
+    for address, data in differential.frames:
+        state.write_frame(address, data)
+    for address in complete_hash.addresses():
+        assert np.array_equal(state.read_frame(address), complete_hash.frame_data(address))
+
+
+def test_fifo_overflow_surfaces_as_error(system64):
+    """A kernel producing more than the FIFO holds must fail loudly."""
+    from repro.kernels.streams import CounterSourceKernel
+
+    dock = system64.dock
+    source = CounterSourceKernel()
+    dock.attach_kernel(source)
+    source.generate(dock.fifo.depth + 1, width_bits=64)
+    with pytest.raises(TransferError, match="overflow"):
+        dock.collect_outputs()
+
+
+def test_dma_to_undecoded_address_fails(system64):
+    system64.dock.attach_kernel(LoopbackKernel())
+    with pytest.raises(AddressDecodeError):
+        system64.dock.dma.run_chain(
+            0, [Descriptor(src=0xDEAD_0000, dst=None, word_count=4)]
+        )
+
+
+def test_corrupted_bitstream_rejected_before_fabric_update(system32):
+    """A CRC hit must leave configuration memory untouched."""
+    bright = BrightnessKernel(5).make_component(32, system32.region.rect.height)
+    stream = system32.bitlinker.link([Placement(bright, 0, 0)])
+    words = stream.to_words().copy()
+    words[20] ^= 0x1  # flip one bit mid-stream
+    before = system32.config_memory.snapshot()
+    with pytest.raises(ReconfigurationError):
+        system32.hwicap.load_words(words)
+    after = system32.config_memory.snapshot()
+    assert set(before) == set(after)
+    for address in before:
+        assert np.array_equal(before[address], after[address])
+
+
+def test_partial_load_preservation_check_fires(system32):
+    """A bitstream writing outside the region trips the manager's check."""
+    from repro.bitstream.bitstream import Bitstream, BitstreamKind
+    from repro.fabric.frames import BlockType, FrameAddress
+
+    # Forge a "partial" stream touching a static column.
+    static_col = 0
+    assert static_col not in set(system32.region.rect.columns)
+    address = FrameAddress(BlockType.CLB, static_col, 0)
+    rogue_frame = np.full(system32.device.words_per_frame, 0x666, dtype=np.uint32)
+    rogue = Bitstream(
+        system32.device.name,
+        BitstreamKind.PARTIAL_COMPLETE,
+        frames=[(address, rogue_frame)],
+    )
+    before = ConfigMemory(system32.device)
+    before.restore(system32.config_memory.snapshot())
+    system32.hwicap.load_words(rogue.to_words())
+    assert not verify_preserves_static(before, system32.config_memory, system32.region)

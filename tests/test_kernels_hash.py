@@ -1,0 +1,129 @@
+"""Tests for the lookup2 kernel and reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels.jenkins_hash import (
+    GOLDEN_RATIO,
+    INIT_OFFSET,
+    LENGTH_OFFSET,
+    REG_BYTES_SEEN,
+    REG_RESULT,
+    JenkinsHashKernel,
+    key_to_words,
+    lookup2,
+)
+
+
+def stream_key(kernel: JenkinsHashKernel, key: bytes, width_bits=32, initval=None):
+    if initval is not None:
+        kernel.consume(initval, width_bits, INIT_OFFSET)
+    kernel.consume(len(key), width_bits, LENGTH_OFFSET)
+    for word in key_to_words(key, width_bits // 8):
+        kernel.consume(word, width_bits, 0)
+    return kernel.read_register(REG_RESULT)
+
+
+def test_reference_known_properties():
+    # lookup2 of the empty key mixes only lengths/init constants.
+    assert lookup2(b"") == lookup2(b"")
+    assert lookup2(b"") != lookup2(b"", initval=1)
+
+
+def test_reference_different_keys_differ():
+    assert lookup2(b"hello") != lookup2(b"world")
+
+
+def test_reference_length_sensitivity():
+    # Appending a zero byte changes the hash (length is mixed in).
+    assert lookup2(b"abc") != lookup2(b"abc\x00")
+
+
+def test_streaming_matches_reference_exact_block():
+    key = bytes(range(24))  # exactly two 12-byte blocks
+    assert stream_key(JenkinsHashKernel(), key) == lookup2(key)
+
+
+def test_streaming_matches_reference_with_tail():
+    for n in (1, 5, 11, 13, 23, 37):
+        key = bytes((i * 7) & 0xFF for i in range(n))
+        assert stream_key(JenkinsHashKernel(), key) == lookup2(key), n
+
+
+def test_streaming_zero_length():
+    kernel = JenkinsHashKernel()
+    kernel.consume(0, 32, LENGTH_OFFSET)
+    assert kernel.read_register(REG_RESULT) == lookup2(b"")
+
+
+def test_streaming_64bit_words():
+    key = bytes(range(40))
+    assert stream_key(JenkinsHashKernel(), key, width_bits=64) == lookup2(key)
+
+
+def test_initval_respected():
+    key = b"keyed hashing"
+    assert stream_key(JenkinsHashKernel(), key, initval=0x1234) == lookup2(key, 0x1234)
+
+
+def test_result_not_ready_raises():
+    kernel = JenkinsHashKernel()
+    kernel.consume(20, 32, LENGTH_OFFSET)
+    kernel.consume(0x41414141, 32, 0)
+    with pytest.raises(KernelError):
+        kernel.read_register(REG_RESULT)
+    assert not kernel.result_ready
+
+
+def test_bytes_seen_register():
+    kernel = JenkinsHashKernel()
+    kernel.consume(6, 32, LENGTH_OFFSET)
+    kernel.consume(0, 32, 0)
+    assert kernel.read_register(REG_BYTES_SEEN) == 4
+
+
+def test_excess_data_rejected():
+    kernel = JenkinsHashKernel()
+    kernel.consume(2, 32, LENGTH_OFFSET)
+    kernel.consume(0, 32, 0)
+    with pytest.raises(KernelError):
+        kernel.consume(0, 32, 0)
+
+
+def test_restart_via_length_write():
+    kernel = JenkinsHashKernel()
+    assert stream_key(kernel, b"first") == lookup2(b"first")
+    kernel.consume(len(b"second"), 32, LENGTH_OFFSET)
+    for word in key_to_words(b"second"):
+        kernel.consume(word, 32, 0)
+    assert kernel.read_register(REG_RESULT) == lookup2(b"second")
+
+
+def test_key_to_words_padding():
+    assert key_to_words(b"\x01\x02\x03\x04\x05") == [0x04030201, 0x00000005]
+
+
+def test_golden_ratio_constant():
+    assert GOLDEN_RATIO == 0x9E3779B9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=100))
+def test_streaming_matches_reference_property(key):
+    assert stream_key(JenkinsHashKernel(), key) == lookup2(key)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=64), st.integers(0, 2**32 - 1))
+def test_streaming_with_initval_property(key, initval):
+    assert stream_key(JenkinsHashKernel(), key, initval=initval) == lookup2(key, initval)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=80))
+def test_hash_stable_across_word_widths(key):
+    assert stream_key(JenkinsHashKernel(), key, 32) == stream_key(
+        JenkinsHashKernel(), key, 64
+    )

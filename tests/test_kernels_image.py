@@ -1,0 +1,204 @@
+"""Tests for the image-processing kernels vs the NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import KernelError
+from repro.kernels.image_ops import (
+    FLUSH_OFFSET,
+    PARAM_OFFSET,
+    REG_PIXELS,
+    BlendKernel,
+    BrightnessKernel,
+    FadeKernel,
+    interleave_images,
+    saturate_u8,
+)
+from repro.sw.image_ops import blend_ref, brightness_ref, fade_ref
+
+
+def run_single_source(kernel, pixels, width_bits=32):
+    per_word = width_bits // 8
+    for i in range(0, len(pixels), per_word):
+        chunk = pixels[i : i + per_word]
+        word = sum(int(p) << (8 * j) for j, p in enumerate(chunk))
+        kernel.consume(word, width_bits, 0)
+    kernel.consume(0, width_bits, FLUSH_OFFSET)
+    out = []
+    for word in kernel.produce():
+        out.extend((word >> (8 * j)) & 0xFF for j in range(per_word))
+    return out[: len(pixels)]
+
+
+def run_two_source(kernel, a_pixels, b_pixels, width_bits=32):
+    lanes = interleave_images(list(a_pixels), list(b_pixels))
+    per_word = width_bits // 8
+    for i in range(0, len(lanes), per_word):
+        chunk = lanes[i : i + per_word]
+        word = sum(int(p) << (8 * j) for j, p in enumerate(chunk))
+        kernel.consume(word, width_bits, 0)
+    kernel.consume(0, width_bits, FLUSH_OFFSET)
+    out = []
+    for word in kernel.produce():
+        out.extend((word >> (8 * j)) & 0xFF for j in range(per_word))
+    return out[: len(a_pixels)]
+
+
+# -- saturate helper -----------------------------------------------------------
+
+def test_saturate_bounds():
+    assert saturate_u8(-5) == 0
+    assert saturate_u8(0) == 0
+    assert saturate_u8(255) == 255
+    assert saturate_u8(300) == 255
+    assert saturate_u8(128) == 128
+
+
+# -- brightness ------------------------------------------------------------------
+
+def test_brightness_matches_reference():
+    rng = np.random.default_rng(1)
+    img = rng.integers(0, 256, size=64, dtype=np.uint8)
+    out = run_single_source(BrightnessKernel(constant=40), img)
+    assert out == list(brightness_ref(img, 40))
+
+
+def test_brightness_negative_constant():
+    img = np.array([0, 10, 200, 255], dtype=np.uint8)
+    out = run_single_source(BrightnessKernel(constant=-50), img)
+    assert out == [0, 0, 150, 205]
+
+
+def test_brightness_constant_range_checked():
+    with pytest.raises(KernelError):
+        BrightnessKernel(constant=300)
+
+
+def test_brightness_param_register_positive_and_negative():
+    kernel = BrightnessKernel(0)
+    kernel.consume(100, 32, PARAM_OFFSET)
+    assert kernel.constant == 100
+    kernel.consume((-60) & 0x1FF, 32, PARAM_OFFSET)
+    assert kernel.constant == -60
+
+
+def test_brightness_64bit_lane_count():
+    img = np.arange(16, dtype=np.uint8)
+    out = run_single_source(BrightnessKernel(constant=1), img, width_bits=64)
+    assert out == list(brightness_ref(img, 1))
+
+
+def test_brightness_pixels_register():
+    kernel = BrightnessKernel(0)
+    run_single_source(kernel, np.zeros(12, dtype=np.uint8))
+    assert kernel.read_register(REG_PIXELS) == 12
+
+
+# -- blend -----------------------------------------------------------------------
+
+def test_blend_matches_reference():
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, 256, size=32, dtype=np.uint8)
+    b = rng.integers(0, 256, size=32, dtype=np.uint8)
+    out = run_two_source(BlendKernel(), a, b)
+    assert out == list(blend_ref(a, b))
+
+
+def test_blend_saturates():
+    out = run_two_source(BlendKernel(), [200, 255], [200, 255])
+    assert out == [255, 255]
+
+
+def test_blend_64bit():
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 256, size=16, dtype=np.uint8)
+    b = rng.integers(0, 256, size=16, dtype=np.uint8)
+    assert run_two_source(BlendKernel(), a, b, 64) == list(blend_ref(a, b))
+
+
+def test_interleave_requires_equal_length():
+    with pytest.raises(KernelError):
+        interleave_images([1], [1, 2])
+
+
+# -- fade ------------------------------------------------------------------------
+
+def test_fade_matches_reference():
+    rng = np.random.default_rng(4)
+    a = rng.integers(0, 256, size=32, dtype=np.uint8)
+    b = rng.integers(0, 256, size=32, dtype=np.uint8)
+    out = run_two_source(FadeKernel(0.25), a, b)
+    assert out == list(fade_ref(a, b, 0.25))
+
+
+def test_fade_extremes():
+    a = np.array([10, 200], dtype=np.uint8)
+    b = np.array([90, 40], dtype=np.uint8)
+    # f = 0 -> B ; f = 1 -> A (within fixed-point rounding)
+    assert run_two_source(FadeKernel(0.0), a, b) == list(b)
+    assert run_two_source(FadeKernel(1.0), a, b) == list(a)
+
+
+def test_fade_factor_register():
+    kernel = FadeKernel(0.5)
+    kernel.consume(256, 32, PARAM_OFFSET)
+    assert kernel.factor_fx == 256
+
+
+def test_fade_factor_range_checked():
+    with pytest.raises(KernelError):
+        FadeKernel(1.5)
+
+
+def test_fade_is_mult_block_user():
+    assert FadeKernel(0.5).MULTS == 1
+    assert BlendKernel().MULTS == 0
+
+
+# -- shared packing behaviour -------------------------------------------------------
+
+def test_flush_pads_partial_word():
+    kernel = BrightnessKernel(0)
+    kernel.consume(0x0302_01, 32, 0)  # 4 lanes anyway
+    out = run_single_source(BrightnessKernel(0), np.array([9], dtype=np.uint8))
+    assert out == [9]
+
+
+def test_unknown_offset_rejected():
+    for kernel in (BrightnessKernel(0), BlendKernel(), FadeKernel(0.5)):
+        with pytest.raises(KernelError):
+            kernel.consume(0, 32, 0x44)
+
+
+def test_reset_clears_pending():
+    kernel = BlendKernel()
+    kernel.consume(0x01010101, 32, 0)
+    kernel.reset()
+    assert kernel.produce() == []
+    assert kernel.read_register(REG_PIXELS) == 0
+
+
+pixels8 = arrays(np.uint8, 16, elements=st.integers(0, 255))
+
+
+@settings(max_examples=40, deadline=None)
+@given(pixels8, st.integers(-255, 255))
+def test_brightness_reference_property(img, constant):
+    out = run_single_source(BrightnessKernel(constant), img)
+    assert out == list(brightness_ref(img, constant))
+
+
+@settings(max_examples=40, deadline=None)
+@given(pixels8, pixels8)
+def test_blend_reference_property(a, b):
+    assert run_two_source(BlendKernel(), a, b) == list(blend_ref(a, b))
+
+
+@settings(max_examples=40, deadline=None)
+@given(pixels8, pixels8, st.floats(0, 1))
+def test_fade_reference_property(a, b, factor):
+    out = run_two_source(FadeKernel(factor), a, b)
+    assert out == list(fade_ref(a, b, factor))

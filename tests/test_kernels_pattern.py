@@ -1,0 +1,147 @@
+"""Tests for the pattern-matching kernel vs the NumPy reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import KernelError
+from repro.kernels.pattern_match import (
+    FLUSH_OFFSET,
+    PATTERN_HI_OFFSET,
+    PATTERN_LO_OFFSET,
+    REG_BEST,
+    REG_POSITIONS,
+    PatternMatchKernel,
+    pattern_to_columns,
+)
+from repro.sw.pattern_match import match_counts
+
+
+def feed_strip(kernel: PatternMatchKernel, image: np.ndarray, row0: int, width_bits=32):
+    cols = PatternMatchKernel.strip_columns(image, row0)
+    per_word = width_bits // 8
+    for i in range(0, len(cols), per_word):
+        word = sum(cols[i + j] << (8 * j) for j in range(per_word) if i + j < len(cols))
+        kernel.consume(word, width_bits, 0)
+    kernel.consume(0, width_bits, FLUSH_OFFSET)
+    counts = []
+    for word in kernel.produce():
+        counts.extend((word >> (8 * j)) & 0xFF for j in range(per_word))
+    return counts[: image.shape[1] - 7]
+
+
+def test_pattern_to_columns_bit_layout():
+    pattern = np.zeros((8, 8), dtype=bool)
+    pattern[2, 0] = True  # row 2 of column 0 -> bit 2 of byte 0
+    assert pattern_to_columns(pattern)[0] == 0b100
+
+
+def test_pattern_to_columns_shape_check():
+    with pytest.raises(KernelError):
+        pattern_to_columns(np.zeros((4, 4), dtype=bool))
+
+
+def test_counts_match_reference_random():
+    rng = np.random.default_rng(3)
+    image = rng.integers(0, 2, size=(8, 48)).astype(bool)
+    pattern = rng.integers(0, 2, size=(8, 8)).astype(bool)
+    kernel = PatternMatchKernel(pattern)
+    counts = feed_strip(kernel, image, 0)
+    assert counts == list(match_counts(image, pattern)[0])
+
+
+def test_counts_match_reference_64bit_path():
+    rng = np.random.default_rng(4)
+    image = rng.integers(0, 2, size=(8, 64)).astype(bool)
+    pattern = rng.integers(0, 2, size=(8, 8)).astype(bool)
+    kernel = PatternMatchKernel(pattern)
+    counts = feed_strip(kernel, image, 0, width_bits=64)
+    assert counts == list(match_counts(image, pattern)[0])
+
+
+def test_exact_match_scores_64():
+    pattern = np.random.default_rng(5).integers(0, 2, size=(8, 8)).astype(bool)
+    image = np.zeros((8, 24), dtype=bool)
+    image[:, 10:18] = pattern
+    kernel = PatternMatchKernel(pattern)
+    counts = feed_strip(kernel, image, 0)
+    assert counts[10] == 64
+    assert kernel.read_register(REG_BEST) == 64
+
+
+def test_inverted_window_scores_zero():
+    pattern = np.ones((8, 8), dtype=bool)
+    image = np.zeros((8, 16), dtype=bool)
+    kernel = PatternMatchKernel(pattern)
+    counts = feed_strip(kernel, image, 0)
+    assert all(c == 0 for c in counts)
+
+
+def test_positions_register():
+    image = np.zeros((8, 20), dtype=bool)
+    kernel = PatternMatchKernel(np.zeros((8, 8), dtype=bool))
+    feed_strip(kernel, image, 0)
+    assert kernel.read_register(REG_POSITIONS) == 13
+
+
+def test_pipeline_fill_produces_no_output():
+    kernel = PatternMatchKernel(np.zeros((8, 8), dtype=bool))
+    kernel.consume(0, 32, 0)  # only 4 columns
+    assert kernel.produce() == []
+
+
+def test_pattern_loadable_via_control_registers():
+    pattern = np.random.default_rng(6).integers(0, 2, size=(8, 8)).astype(bool)
+    cols = pattern_to_columns(pattern)
+    kernel = PatternMatchKernel()
+    kernel.consume(sum(cols[j] << (8 * j) for j in range(4)), 32, PATTERN_LO_OFFSET)
+    kernel.consume(sum(cols[4 + j] << (8 * j) for j in range(4)), 32, PATTERN_HI_OFFSET)
+    image = np.zeros((8, 16), dtype=bool)
+    image[:, 4:12] = pattern
+    counts = feed_strip(kernel, image, 0)
+    assert counts[4] == 64
+
+
+def test_reset_clears_state():
+    kernel = PatternMatchKernel(np.ones((8, 8), dtype=bool))
+    image = np.ones((8, 16), dtype=bool)
+    feed_strip(kernel, image, 0)
+    kernel.reset()
+    assert kernel.read_register(REG_POSITIONS) == 0
+    assert kernel.read_register(REG_BEST) == 0
+
+
+def test_unknown_offset_rejected():
+    kernel = PatternMatchKernel()
+    with pytest.raises(KernelError):
+        kernel.consume(0, 32, 0x99)
+
+
+def test_strip_columns_bounds():
+    with pytest.raises(KernelError):
+        PatternMatchKernel.strip_columns(np.zeros((8, 8), dtype=bool), 1)
+
+
+def test_multi_strip_image_matches_reference():
+    rng = np.random.default_rng(7)
+    image = rng.integers(0, 2, size=(12, 32)).astype(bool)
+    pattern = rng.integers(0, 2, size=(8, 8)).astype(bool)
+    expected = match_counts(image, pattern)
+    kernel = PatternMatchKernel(pattern)
+    for strip in range(image.shape[0] - 7):
+        kernel.reset()
+        counts = feed_strip(kernel, image, strip)
+        assert counts == list(expected[strip])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(bool, (8, 24), elements=st.booleans()),
+    arrays(bool, (8, 8), elements=st.booleans()),
+)
+def test_counts_match_reference_property(image, pattern):
+    kernel = PatternMatchKernel(pattern)
+    counts = feed_strip(kernel, image, 0)
+    assert counts == list(match_counts(image, pattern)[0])

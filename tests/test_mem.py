@@ -1,0 +1,145 @@
+"""Tests for memory arrays and controllers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bus.transaction import Op, Transaction
+from repro.errors import BusError
+from repro.mem.controllers import BramController, DdrController, SramController
+from repro.mem.memory import MemoryArray
+
+
+@pytest.fixture
+def memory():
+    return MemoryArray(4096, "m")
+
+
+def test_size_must_be_multiple_of_eight():
+    with pytest.raises(BusError):
+        MemoryArray(100)
+
+
+def test_word_roundtrip(memory):
+    memory.write_word(0x10, 4, 0xDEADBEEF)
+    assert memory.read_word(0x10, 4) == 0xDEADBEEF
+
+
+def test_byte_roundtrip(memory):
+    memory.write_word(5, 1, 0xAB)
+    assert memory.read_word(5, 1) == 0xAB
+
+
+def test_64bit_roundtrip(memory):
+    memory.write_word(0x20, 8, 0x1122334455667788)
+    assert memory.read_word(0x20, 8) == 0x1122334455667788
+
+
+def test_little_endian_layout(memory):
+    memory.write_word(0, 4, 0x04030201)
+    assert list(memory.dump(0, 4)) == [1, 2, 3, 4]
+
+
+def test_value_masked_to_width(memory):
+    memory.write_word(0, 2, 0x12345)
+    assert memory.read_word(0, 2) == 0x2345
+
+
+def test_out_of_bounds_raises(memory):
+    with pytest.raises(BusError):
+        memory.read_word(4096, 4)
+    with pytest.raises(BusError):
+        memory.write_word(-4, 4, 0)
+
+
+def test_words_roundtrip(memory):
+    values = [1, 2, 3, 4]
+    memory.write_words(0x40, values, 4)
+    assert memory.read_words(0x40, 4, 4) == values
+
+
+def test_load_dump(memory):
+    memory.load(8, b"hello")
+    assert bytes(memory.dump(8, 5)) == b"hello"
+
+
+def test_fill(memory):
+    memory.load(0, b"\xff" * 16)
+    memory.fill(0)
+    assert not memory.dump(0, 16).any()
+
+
+@given(st.integers(0, 4088), st.integers(0, 2**64 - 1))
+def test_word_roundtrip_property(offset, value):
+    memory = MemoryArray(4096)
+    memory.write_word(offset, 8, value)
+    assert memory.read_word(offset, 8) == value
+
+
+# -- controllers -------------------------------------------------------------
+
+def make_controller(cls, base=0x1000):
+    memory = MemoryArray(4096, "m")
+    return cls(memory, base, "ctrl"), memory
+
+
+def test_controller_translates_base_address():
+    ctrl, memory = make_controller(SramController)
+    ctrl.access(Transaction(Op.WRITE, 0x1010, data=0x42), 0)
+    assert memory.read_word(0x10, 4) == 0x42
+
+
+def test_controller_read_wait_states():
+    ctrl, memory = make_controller(SramController)
+    wait, _ = ctrl.access(Transaction(Op.READ, 0x1000), 0)
+    assert wait == SramController.READ_WAIT
+
+
+def test_controller_burst_wait_scaling():
+    ctrl, memory = make_controller(SramController)
+    wait1, _ = ctrl.access(Transaction(Op.READ, 0x1000, beats=1), 0)
+    wait4, _ = ctrl.access(Transaction(Op.READ, 0x1000, beats=4), 0)
+    assert wait4 == wait1 + 3 * SramController.READ_BEAT_WAIT
+
+
+def test_ddr_burst_beats_free_after_first():
+    ctrl, memory = make_controller(DdrController)
+    wait1, _ = ctrl.access(Transaction(Op.READ, 0x1000, size_bytes=8), 0)
+    wait8, _ = ctrl.access(Transaction(Op.READ, 0x1000, size_bytes=8, beats=8), 0)
+    assert wait8 == wait1  # streaming beats hide behind the bus clock
+
+
+def test_bram_no_wait_states():
+    ctrl, memory = make_controller(BramController)
+    wait_r, _ = ctrl.access(Transaction(Op.READ, 0x1000), 0)
+    wait_w, _ = ctrl.access(Transaction(Op.WRITE, 0x1000, data=0), 0)
+    assert wait_r == 0 and wait_w == 0
+
+
+def test_controller_burst_write_data():
+    ctrl, memory = make_controller(DdrController)
+    ctrl.access(Transaction(Op.WRITE, 0x1000, size_bytes=8, beats=3, data=[1, 2, 3]), 0)
+    assert memory.read_words(0, 3, 8) == [1, 2, 3]
+
+
+def test_controller_burst_read_data():
+    ctrl, memory = make_controller(DdrController)
+    memory.write_words(0, [7, 8], 8)
+    _, value = ctrl.access(Transaction(Op.READ, 0x1000, size_bytes=8, beats=2), 0)
+    assert value == [7, 8]
+
+
+def test_controller_stats():
+    ctrl, memory = make_controller(SramController)
+    ctrl.access(Transaction(Op.WRITE, 0x1000, data=1), 0)
+    ctrl.access(Transaction(Op.READ, 0x1000), 0)
+    assert ctrl.stats.get("writes") == 1
+    assert ctrl.stats.get("reads") == 1
+
+
+def test_controller_short_write_payload_zero_padded():
+    ctrl, memory = make_controller(SramController)
+    memory.load(0, b"\xff" * 8)
+    ctrl.access(Transaction(Op.WRITE, 0x1000, beats=2, data=[0x5]), 0)
+    assert memory.read_words(0, 2, 4) == [5, 0]

@@ -1,0 +1,229 @@
+"""End-to-end checks of the paper's qualitative results (all 12 tables).
+
+These tests assert the *shape* of the evaluation — who wins, by roughly
+what factor, where the crossovers are — on reduced workload sizes so the
+whole file runs in seconds.  The benchmark harness regenerates the full
+tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TransferBench
+from repro.core.apps import (
+    HwBlendDma,
+    HwBlendPio,
+    HwBrightnessDma,
+    HwBrightnessPio,
+    HwFadeDma,
+    HwFadePio,
+    HwJenkinsHash,
+    HwPatternMatch,
+    HwSha1,
+)
+from repro.errors import ResourceError
+from repro.kernels import Sha1Kernel
+from repro.sw import (
+    SwBlend,
+    SwBrightness,
+    SwFade,
+    SwJenkinsHash,
+    SwPatternMatch,
+    SwSha1,
+)
+from repro.workloads import binary_image, grayscale_image, random_key
+
+IMG = (16, 40)
+GRAY = (32, 32)
+KEY_LEN = 1536
+
+
+@pytest.fixture
+def loaded32(system32, manager32):
+    return system32, manager32
+
+
+@pytest.fixture
+def loaded64(system64, manager64):
+    return system64, manager64
+
+
+# -- Tables 2 / 7: CPU-controlled transfer times -------------------------------------
+
+def test_table2_vs_table7_4_to_6x(system32, system64):
+    bench32, bench64 = TransferBench(system32), TransferBench(system64)
+    for method in ("pio_write_sequence", "pio_read_sequence", "pio_interleaved_sequence"):
+        t32 = getattr(bench32, method)(1024).per_transfer_ns
+        t64 = getattr(bench64, method)(1024).per_transfer_ns
+        assert 4.0 <= t32 / t64 <= 6.0, method
+
+
+# -- Table 8: DMA transfers -----------------------------------------------------------
+
+def test_table8_dma_beats_pio_despite_double_width(system64):
+    bench = TransferBench(system64)
+    pio = bench.pio_write_sequence(1024).per_transfer_ns  # 32-bit words
+    dma = bench.dma_write_sequence(1024).per_transfer_ns  # 64-bit words
+    assert dma < pio / 2
+
+
+def test_table8_interleaved_uses_block_interleaving(system64):
+    bench = TransferBench(system64)
+    result = bench.dma_interleaved_sequence(4096)  # > FIFO depth of 2047
+    assert result.per_transfer_ns < bench.pio_interleaved_sequence(1024).per_transfer_ns
+
+
+# -- Tables 3 / 9: pattern matching ----------------------------------------------------
+
+def test_table3_speedup_over_26(loaded32, pattern):
+    system, manager = loaded32
+    manager.load("patmatch")
+    image = binary_image(*IMG, seed=50)
+    hw = HwPatternMatch().run(system, image)
+    sw = SwPatternMatch(pattern).run(system, image)
+    assert np.array_equal(hw.result, sw.result)
+    assert sw.elapsed_ps / hw.elapsed_ps > 26
+
+
+def test_table9_speedup_decreases_but_stays_large(loaded32, loaded64, pattern):
+    image = binary_image(*IMG, seed=51)
+    system32, manager32 = loaded32
+    system64, manager64 = loaded64
+    manager32.load("patmatch")
+    manager64.load("patmatch")
+    s32 = (
+        SwPatternMatch(pattern).run(system32, image).elapsed_ps
+        / HwPatternMatch().run(system32, image).elapsed_ps
+    )
+    s64 = (
+        SwPatternMatch(pattern).run(system64, image).elapsed_ps
+        / HwPatternMatch().run(system64, image).elapsed_ps
+    )
+    # "a decrease in the hardware vs. software speedup is obtained ...
+    #  The hardware implementations still maintain a considerable
+    #  performance advantage."
+    assert s64 < s32
+    assert s64 > 8
+
+
+def test_table9_software_benefits_more_from_memory(loaded32, loaded64, pattern):
+    image = binary_image(*IMG, seed=52)
+    sw32 = SwPatternMatch(pattern).run(loaded32[0], image).elapsed_ps
+    sw64 = SwPatternMatch(pattern).run(loaded64[0], image).elapsed_ps
+    assert sw32 / sw64 > 2.5  # more than the 1.5x clock alone
+
+
+# -- Tables 4 / 10: lookup2 hash ---------------------------------------------------------
+
+def test_table4_speedup_much_more_modest(loaded32):
+    system, manager = loaded32
+    manager.load("lookup2")
+    key = random_key(KEY_LEN, seed=53)
+    hw = HwJenkinsHash().run(system, key)
+    sw = SwJenkinsHash().run(system, key)
+    assert hw.result == sw.result
+    speedup = sw.elapsed_ps / hw.elapsed_ps
+    assert 0.8 < speedup < 1.8  # "much more modest" than 26x
+
+
+def test_table10_slightly_better_speedup(loaded32, loaded64):
+    key = random_key(KEY_LEN, seed=54)
+    s = {}
+    for label, (system, manager) in (("32", loaded32), ("64", loaded64)):
+        manager.load("lookup2")
+        hw = HwJenkinsHash().run(system, key)
+        sw = SwJenkinsHash().run(system, key)
+        s[label] = sw.elapsed_ps / hw.elapsed_ps
+    assert s["64"] > s["32"]
+    assert s["64"] < 2.5  # still transfer-limited, not a blowout
+
+
+# -- Table 11: SHA-1 -------------------------------------------------------------------
+
+def test_table11_sha1_does_not_fit_32bit(manager32):
+    with pytest.raises(ResourceError):
+        manager32.register(Sha1Kernel())
+
+
+def test_table11_sha1_considerable_gain_on_64bit(loaded64):
+    system, manager = loaded64
+    manager.load("sha1")
+    message = random_key(2048, seed=55)
+    hw = HwSha1().run(system, message)
+    sw = SwSha1().run(system, message)
+    assert hw.result == sw.result
+    assert sw.elapsed_ps / hw.elapsed_ps > 2
+
+
+def test_table11_sw_overhead_shrinks_with_size(system64):
+    per_byte = []
+    for n in (64, 512, 8192):
+        result = SwSha1().run(system64, random_key(n, seed=56))
+        per_byte.append(result.elapsed_ps / n)
+    assert per_byte[0] > per_byte[1] > per_byte[2]
+
+
+# -- Tables 5 / 12: image processing ------------------------------------------------------
+
+def _image_speedups(system, manager, drivers):
+    a = grayscale_image(*GRAY, seed=57)
+    b = grayscale_image(*GRAY, seed=58)
+    out = {}
+    manager.load("brightness")
+    hw = drivers[0]().run(system, a)
+    sw = SwBrightness(32).run(system, a)
+    assert np.array_equal(hw.result, sw.result)
+    out["brightness"] = sw.elapsed_ps / hw.elapsed_ps
+    manager.load("blend")
+    hw = drivers[1]().run(system, a, b)
+    sw = SwBlend().run(system, a, b)
+    assert np.array_equal(hw.result, sw.result)
+    out["blend"] = sw.elapsed_ps / hw.elapsed_ps
+    out["blend_prep"] = hw.breakdown["data_preparation_ps"]
+    manager.load("fade")
+    hw = drivers[2]().run(system, a, b)
+    sw = SwFade(0.5).run(system, a, b)
+    assert np.array_equal(hw.result, sw.result)
+    out["fade"] = sw.elapsed_ps / hw.elapsed_ps
+    return out
+
+
+def test_table5_image_speedups(loaded32):
+    system, manager = loaded32
+    s = _image_speedups(system, manager, (HwBrightnessPio, HwBlendPio, HwFadePio))
+    # All hardware versions win; the two-source tasks win less, with blend
+    # (the simpler operation) benefiting least.
+    assert s["brightness"] > 1.5
+    assert 1.0 < s["blend"] < s["fade"] <= s["brightness"] * 1.05
+    assert s["blend_prep"] > 0
+
+
+def test_table12_image_speedups(loaded32, loaded64):
+    s32 = _image_speedups(
+        loaded32[0], loaded32[1], (HwBrightnessPio, HwBlendPio, HwFadePio)
+    )
+    s64 = _image_speedups(
+        loaded64[0], loaded64[1], (HwBrightnessDma, HwBlendDma, HwFadeDma)
+    )
+    # "For the first task, there is a clear increase of the speedup"
+    assert s64["brightness"] > 2 * s32["brightness"]
+    # "The other tasks show a significantly smaller speedup increase"
+    assert s64["blend"] >= s32["blend"] * 0.95
+    assert s64["fade"] >= s32["fade"]
+    blend_gain = s64["blend"] / s32["blend"]
+    bright_gain = s64["brightness"] / s32["brightness"]
+    assert blend_gain < bright_gain / 1.5
+    # Data preparation is charged on the DMA path.
+    assert s64["blend_prep"] > 0
+
+
+# -- Tables 1 / 6: resource usage ------------------------------------------------------------
+
+def test_table1_table6_resource_inventories(system32, system64):
+    static32 = system32.static_resources()
+    static64 = system64.static_resources()
+    # The second design's permanent circuits are larger and more complex.
+    assert static64.slices > static32.slices
+    # Both leave the dynamic region free.
+    for system, static in ((system32, static32), (system64, static64)):
+        assert static.fits_within(system.device.capacity - system.region.resources)

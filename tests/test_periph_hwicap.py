@@ -1,0 +1,97 @@
+"""Tests for the OPB HWICAP configuration controller."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.bitstream import Bitstream, BitstreamKind
+from repro.bus.transaction import Op, Transaction
+from repro.errors import ReconfigurationError
+from repro.fabric.config_memory import ConfigMemory
+from repro.fabric.device import XC2VP4, XC2VP7
+from repro.fabric.frames import BlockType, FrameAddress
+from repro.periph.hwicap import (
+    REG_CONTROL,
+    REG_DATA,
+    REG_STATUS,
+    STATUS_DONE,
+    OpbHwIcap,
+)
+
+
+@pytest.fixture
+def icap():
+    memory = ConfigMemory(XC2VP4)
+    return OpbHwIcap(memory, base=0x9000_0000), memory
+
+
+def sample_bitstream(device=XC2VP4):
+    words = device.words_per_frame
+    frames = [
+        (FrameAddress(BlockType.CLB, 0, 0), np.full(words, 0xA5, dtype=np.uint32)),
+        (FrameAddress(BlockType.CLB, 0, 1), np.full(words, 0x5A, dtype=np.uint32)),
+    ]
+    return Bitstream(device.name, BitstreamKind.PARTIAL_COMPLETE, frames=frames)
+
+
+def test_load_words_applies_frames(icap):
+    controller, memory = icap
+    stream = sample_bitstream()
+    controller.load_words(stream.to_words())
+    assert controller.frames_written == 2
+    assert memory.read_frame(FrameAddress(BlockType.CLB, 0, 0))[0] == 0xA5
+
+
+def test_mmio_data_then_commit(icap):
+    controller, memory = icap
+    words = sample_bitstream().to_words()
+    for word in words:
+        controller.access(Transaction(Op.WRITE, 0x9000_0000 + REG_DATA, data=int(word)), 0)
+    controller.access(Transaction(Op.WRITE, 0x9000_0000 + REG_CONTROL, data=1), 0)
+    assert controller.frames_written == 2
+    assert controller.words_pending() == 0
+
+
+def test_status_reflects_pending(icap):
+    controller, memory = icap
+    _, status = controller.access(Transaction(Op.READ, 0x9000_0000 + REG_STATUS), 0)
+    assert status & STATUS_DONE
+    controller.access(Transaction(Op.WRITE, 0x9000_0000 + REG_DATA, data=0xFFFFFFFF), 0)
+    _, status = controller.access(Transaction(Op.READ, 0x9000_0000 + REG_STATUS), 0)
+    assert not (status & STATUS_DONE)
+
+
+def test_wrong_device_bitstream_rejected(icap):
+    controller, memory = icap
+    stream = sample_bitstream(XC2VP7)  # ICAP's memory is XC2VP4
+    with pytest.raises(ReconfigurationError, match="targets"):
+        controller.load_words(stream.to_words())
+
+
+def test_corrupt_stream_sets_error(icap):
+    controller, memory = icap
+    words = sample_bitstream().to_words().copy()
+    words[5] ^= 0xFFFF  # corrupt mid-stream
+    with pytest.raises(ReconfigurationError):
+        controller.load_words(words)
+    assert controller.crc_failures == 1
+
+
+def test_unknown_register_write(icap):
+    controller, _ = icap
+    with pytest.raises(ReconfigurationError):
+        controller.access(Transaction(Op.WRITE, 0x9000_0000 + 0x40, data=0), 0)
+
+
+def test_empty_commit_is_noop(icap):
+    controller, _ = icap
+    controller.access(Transaction(Op.WRITE, 0x9000_0000 + REG_CONTROL, data=0), 0)
+    assert controller.frames_written == 0
+
+
+def test_write_wait_states(icap):
+    controller, _ = icap
+    wait, _ = controller.access(
+        Transaction(Op.WRITE, 0x9000_0000 + REG_DATA, data=0xAA995566), 0
+    )
+    assert wait == OpbHwIcap.WRITE_WAIT
+    controller._words.clear()

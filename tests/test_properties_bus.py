@@ -1,0 +1,134 @@
+"""Property-based tests of bus-level invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bus.opb import make_opb
+from repro.bus.plb import make_plb
+from repro.bus.bridge import PlbOpbBridge
+from repro.bus.transaction import Op, Transaction
+from repro.engine.clock import ClockDomain, mhz
+from repro.mem.controllers import DdrController, SramController
+from repro.mem.memory import MemoryArray
+
+MEM_SIZE = 1 << 14
+
+
+def fresh_plb():
+    plb = make_plb(ClockDomain("bus", mhz(100)))
+    memory = MemoryArray(MEM_SIZE)
+    plb.attach(DdrController(memory, 0, "mem"), 0, MEM_SIZE, name="mem")
+    return plb, memory
+
+
+def fresh_bridged():
+    clock = ClockDomain("bus", mhz(50))
+    plb = make_plb(clock)
+    opb = make_opb(clock)
+    memory = MemoryArray(MEM_SIZE)
+    opb.attach(SramController(memory, 0, "sram"), 0, MEM_SIZE, name="sram")
+    bridge = PlbOpbBridge(plb, opb)
+    plb.attach(bridge, 0, MEM_SIZE, name="bridge", posted_writes=True)
+    return plb, memory
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from([Op.READ, Op.WRITE]),
+        st.integers(0, (MEM_SIZE // 8) - 1),  # 8-byte-aligned slots
+        st.integers(0, 2**32 - 1),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops)
+def test_memory_semantics_last_write_wins(sequence):
+    """Random op sequences: every read returns the latest write."""
+    plb, memory = fresh_plb()
+    shadow = {}
+    cursor = 0
+    for op, slot, value in sequence:
+        address = slot * 8
+        if op is Op.WRITE:
+            completion = plb.request(cursor, Transaction(Op.WRITE, address, data=value))
+            shadow[address] = value
+        else:
+            completion = plb.request(cursor, Transaction(Op.READ, address))
+            assert completion.value == shadow.get(address, 0)
+        cursor = completion.done_ps
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops)
+def test_time_monotone_and_busy_watermark(sequence):
+    """Completions never move backwards; busy_until is monotone."""
+    plb, memory = fresh_plb()
+    cursor = 0
+    watermark = 0
+    for op, slot, value in sequence:
+        txn = Transaction(op, slot * 8, data=value if op is Op.WRITE else None)
+        completion = plb.request(cursor, txn)
+        assert completion.done_ps > cursor
+        assert plb.busy_until >= watermark
+        watermark = plb.busy_until
+        cursor = completion.done_ps
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 120), st.integers(0, 255))
+def test_burst_equivalent_to_singles_functionally(beats, seed):
+    """A burst write then burst read round-trips arbitrary lengths."""
+    plb, memory = fresh_plb()
+    data = [(seed * 2654435761 + i) & 0xFFFFFFFFFFFFFFFF for i in range(beats)]
+    plb.request(0, Transaction(Op.WRITE, 0, size_bytes=8, beats=beats, data=data))
+    completion = plb.request(
+        plb.busy_until, Transaction(Op.READ, 0, size_bytes=8, beats=beats)
+    )
+    value = completion.value if isinstance(completion.value, list) else [completion.value]
+    assert value == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 16))
+def test_burst_cheaper_than_singles_in_time(beats):
+    """Per-beat time of a PLB burst never exceeds per-single time."""
+    plb, _ = fresh_plb()
+    single = plb.request(0, Transaction(Op.READ, 0, size_bytes=8))
+    single_time = single.done_ps
+    start = plb.busy_until
+    burst = plb.request(start, Transaction(Op.READ, 0, size_bytes=8, beats=beats))
+    per_beat = (burst.done_ps - start) / beats
+    assert per_beat <= single_time + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops)
+def test_bridge_preserves_memory_semantics(sequence):
+    """The same random sequences hold across the PLB-OPB bridge."""
+    plb, memory = fresh_bridged()
+    shadow = {}
+    cursor = 0
+    for op, slot, value in sequence:
+        address = slot * 8
+        if op is Op.WRITE:
+            completion = plb.request(cursor, Transaction(Op.WRITE, address, data=value))
+            shadow[address] = value
+            cursor = completion.master_free_ps
+        else:
+            completion = plb.request(cursor, Transaction(Op.READ, address))
+            assert completion.value == shadow.get(address, 0)
+            cursor = completion.done_ps
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**64 - 1), st.integers(0, (MEM_SIZE // 8) - 1))
+def test_bridge_64bit_roundtrip_property(value, slot):
+    plb, memory = fresh_bridged()
+    address = slot * 8
+    plb.request(0, Transaction(Op.WRITE, address, size_bytes=8, data=value))
+    completion = plb.request(plb.busy_until, Transaction(Op.READ, address, size_bytes=8))
+    assert completion.value == value

@@ -1,0 +1,162 @@
+"""Tests for reporting helpers, workload generators and floorplan renderers."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.busmacro import BusMacro, MacroKind
+from repro.core.floorplan import (
+    render_bus_macro,
+    render_generic_architecture,
+    render_system_floorplan,
+)
+from repro.reporting import format_table, format_time_ns, speedup
+from repro.workloads import (
+    ascii_key,
+    binary_image,
+    binary_pattern,
+    gradient_image,
+    grayscale_image,
+    key_batch,
+    planted_pattern_image,
+    random_key,
+)
+
+
+# -- reporting -------------------------------------------------------------------
+
+def test_format_table_alignment():
+    table = format_table("T", ["col_a", "b"], [["x", 1], ["longer", 2.5]])
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "col_a" in lines[2]
+    assert "longer" in lines[-1]
+    # All data lines equally wide.
+    assert len(lines[-1]) == len(lines[-2])
+
+
+def test_format_table_floats():
+    table = format_table("T", ["v"], [[3.14159], [12345.6]])
+    assert "3.14" in table
+    assert "12,346" in table
+
+
+def test_format_time_ns_units():
+    assert format_time_ns(500) == "500.0 ns"
+    assert format_time_ns(2_500) == "2.50 us"
+    assert format_time_ns(3_000_000) == "3.00 ms"
+    assert format_time_ns(4e9) == "4.000 s"
+
+
+def test_speedup():
+    assert speedup(1000, 100) == 10.0
+    with pytest.raises(ValueError):
+        speedup(1, 0)
+
+
+# -- workloads --------------------------------------------------------------------
+
+def test_binary_image_reproducible():
+    assert np.array_equal(binary_image(8, 8, seed=1), binary_image(8, 8, seed=1))
+    assert not np.array_equal(binary_image(8, 8, seed=1), binary_image(8, 8, seed=2))
+
+
+def test_binary_image_density():
+    dense = binary_image(64, 64, density=0.9).mean()
+    sparse = binary_image(64, 64, density=0.1).mean()
+    assert dense > 0.8 > 0.2 > sparse
+
+
+def test_binary_image_invalid_density():
+    with pytest.raises(Exception):
+        binary_image(8, 8, density=1.5)
+
+
+def test_binary_pattern_shape():
+    assert binary_pattern().shape == (8, 8)
+
+
+def test_planted_pattern_found():
+    from repro.sw import match_counts
+
+    pattern = binary_pattern(seed=5)
+    image = planted_pattern_image(32, 32, pattern, plants=2, seed=6)
+    assert match_counts(image, pattern).max() == 64
+
+
+def test_grayscale_image_range():
+    img = grayscale_image(16, 16)
+    assert img.dtype == np.uint8
+    assert img.min() >= 0 and img.max() <= 255
+
+
+def test_gradient_image_monotone_rows():
+    img = gradient_image(4, 64)
+    assert img[0, 0] == 0
+    assert img[0, -1] == 255
+    assert (np.diff(img[0].astype(int)) >= 0).all()
+
+
+def test_random_key_length_and_determinism():
+    assert len(random_key(37)) == 37
+    assert random_key(16, seed=1) == random_key(16, seed=1)
+
+
+def test_key_batch_distinct():
+    batch = key_batch(3, 16)
+    assert len({bytes(k) for k in batch}) == 3
+
+
+def test_ascii_key_printable():
+    key = ascii_key(100)
+    assert all(0x20 <= b < 0x7F for b in key)
+
+
+# -- floorplans ---------------------------------------------------------------------
+
+def test_generic_architecture_mentions_units():
+    art = render_generic_architecture()
+    for phrase in ("CPU", "memory interface", "configuration", "dynamic"):
+        assert phrase in art
+
+
+def test_bus_macro_rendering():
+    macro = BusMacro("demo", MacroKind.LUT, width=2)
+    art = render_bus_macro(macro)
+    assert "In(0)" in art and "Out(1)" in art
+    assert "LUT" in art
+
+
+def test_bus_macro_rendering_wide():
+    macro = BusMacro("wide", MacroKind.LUT, width=32)
+    art = render_bus_macro(macro)
+    assert "more signals" in art
+
+
+def test_system_floorplans(system32, system64):
+    plan32 = render_system_floorplan(system32)
+    assert "XC2VP7" in plan32
+    assert "OPB" in plan32
+    assert "DYNAMIC AREA" in plan32
+    plan64 = render_system_floorplan(system64)
+    assert "XC2VP30" in plan64
+    assert "PlbDock" in plan64
+
+
+def test_zipf_key_batch_shape():
+    from repro.workloads import zipf_key_batch
+
+    keys = zipf_key_batch(300, max_length=128, seed=4)
+    lengths = sorted(len(k) for k in keys)
+    assert lengths[0] >= 4
+    assert lengths[-1] <= 128
+    # Zipf shape: median far below max, plenty of short keys.
+    assert lengths[len(lengths) // 2] < 32
+
+
+def test_zipf_key_batch_validates():
+    import pytest
+
+    from repro.workloads import zipf_key_batch
+
+    with pytest.raises(Exception):
+        zipf_key_batch(0)

@@ -1,0 +1,139 @@
+"""Tests for the software task implementations and their cost models."""
+
+import numpy as np
+import pytest
+
+from repro.sw import (
+    SwBlend,
+    SwBrightness,
+    SwFade,
+    SwJenkinsHash,
+    SwPatternMatch,
+    SwSha1,
+    blend_ref,
+    brightness_ref,
+    fade_ref,
+    match_counts,
+)
+from repro.kernels import lookup2, sha1
+from repro.workloads import binary_image, binary_pattern, grayscale_image, random_key
+
+
+# -- functional correctness -----------------------------------------------------
+
+def test_match_counts_reference_simple():
+    image = np.zeros((8, 8), dtype=bool)
+    pattern = np.zeros((8, 8), dtype=bool)
+    assert match_counts(image, pattern)[0, 0] == 64
+
+
+def test_match_counts_shape():
+    counts = match_counts(binary_image(20, 30), binary_pattern())
+    assert counts.shape == (13, 23)
+
+
+def test_match_counts_rejects_small_image():
+    with pytest.raises(Exception):
+        match_counts(np.zeros((4, 4), dtype=bool), binary_pattern())
+
+
+def test_brightness_ref_saturation():
+    img = np.array([250, 5], dtype=np.uint8)
+    assert list(brightness_ref(img, 10)) == [255, 15]
+    assert list(brightness_ref(img, -10)) == [240, 0]
+
+
+def test_blend_ref_saturation():
+    a = np.array([200], dtype=np.uint8)
+    b = np.array([100], dtype=np.uint8)
+    assert blend_ref(a, b)[0] == 255
+
+
+def test_fade_ref_endpoints():
+    a = np.array([200], dtype=np.uint8)
+    b = np.array([50], dtype=np.uint8)
+    assert fade_ref(a, b, 0.0)[0] == 50
+    assert fade_ref(a, b, 1.0)[0] == 200
+
+
+# -- run() result plumbing ---------------------------------------------------------
+
+def test_pattern_match_run_returns_counts(system32, pattern):
+    image = binary_image(10, 20, seed=40)
+    result = SwPatternMatch(pattern).run(system32, image)
+    assert np.array_equal(result.result, match_counts(image, pattern))
+    assert result.elapsed_ps > 0
+    assert result.elapsed_us == result.elapsed_ps / 1e6
+
+
+def test_hash_run_returns_digest(system32):
+    key = random_key(50, seed=41)
+    result = SwJenkinsHash().run(system32, key)
+    assert result.result == lookup2(key)
+
+
+def test_sha1_run_returns_digest(system64):
+    message = random_key(100, seed=42)
+    result = SwSha1().run(system64, message)
+    assert result.result == sha1(message)
+
+
+def test_image_tasks_return_arrays(system32):
+    img = grayscale_image(8, 8, seed=43)
+    img2 = grayscale_image(8, 8, seed=44)
+    assert np.array_equal(SwBrightness(20).run(system32, img).result, brightness_ref(img, 20))
+    assert np.array_equal(SwBlend().run(system32, img, img2).result, blend_ref(img, img2))
+    assert np.array_equal(SwFade(0.5).run(system32, img, img2).result, fade_ref(img, img2, 0.5))
+
+
+# -- cost-model behaviour -----------------------------------------------------------
+
+def test_sw_time_scales_with_input(system32):
+    short = SwJenkinsHash().run(system32, random_key(120)).elapsed_ps
+    long = SwJenkinsHash().run(system32, random_key(1200)).elapsed_ps
+    assert 8 < long / short < 12
+
+
+def test_sw_pattern_time_scales_with_positions(system32, pattern):
+    small = SwPatternMatch(pattern).run(system32, binary_image(8, 20)).elapsed_ps
+    big = SwPatternMatch(pattern).run(system32, binary_image(8, 33)).elapsed_ps
+    assert big > small * 1.5
+
+
+def test_sw_faster_on_64bit_system(system32, system64, pattern):
+    """Both clock and memory system favour the 64-bit platform."""
+    image = binary_image(9, 24, seed=45)
+    t32 = SwPatternMatch(pattern).run(system32, image).elapsed_ps
+    t64 = SwPatternMatch(pattern).run(system64, image).elapsed_ps
+    assert t64 < t32 / 2
+
+
+def test_sha1_call_overhead_visible_for_small_inputs(system64):
+    # "The software implementation has a large overhead for smaller data
+    #  sets" — per-byte cost must drop sharply as inputs grow.
+    small = SwSha1().run(system64, random_key(64)).elapsed_ps / 64
+    large = SwSha1().run(system64, random_key(4096)).elapsed_ps / 4096
+    assert small > 1.5 * large
+
+
+def test_image_tasks_pay_for_extra_source(system32):
+    img = grayscale_image(16, 16, seed=46)
+    img2 = grayscale_image(16, 16, seed=47)
+    one_src = SwBrightness(10).run(system32, img).elapsed_ps
+    two_src = SwBlend().run(system32, img, img2).elapsed_ps
+    assert two_src > one_src
+
+
+def test_fade_costs_more_than_blend(system32):
+    img = grayscale_image(16, 16, seed=48)
+    img2 = grayscale_image(16, 16, seed=49)
+    blend = SwBlend().run(system32, img, img2).elapsed_ps
+    fade = SwFade(0.5).run(system32, img, img2).elapsed_ps
+    assert fade > blend  # the 8.8 multiply is not free
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(Exception):
+        SwBrightness(999)
+    with pytest.raises(Exception):
+        SwFade(2.0)
