@@ -1,0 +1,125 @@
+"""Host-wall-clock perf smoke bench for the transfer engine.
+
+Measures words/sec of host time (not simulated time) for PIO and DMA
+sequences at 10k and 200k words, with the vectorized burst fast path on
+and off, and writes ``benchmarks/results/perf_engine.json`` so future PRs
+have a perf trajectory to compare against.
+
+Run directly (report-only)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py
+
+or with ``--check`` to additionally enforce the fast-path speedup floors
+(>=10x on ``dma_interleaved_sequence(200_000)``, >=5x on the Table 8/12
+sequence lengths) against the per-beat reference path, which is the seed
+implementation's code path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core import TransferBench, build_system32, build_system64  # noqa: E402
+from repro.engine import fastpath  # noqa: E402
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "perf_engine.json")
+
+#: (label, builder, method, word counts)
+WORKLOADS = [
+    ("pio_write", build_system32, "pio_write_sequence", (10_000, 200_000)),
+    ("pio_interleaved", build_system32, "pio_interleaved_sequence", (10_000, 200_000)),
+    ("dma_write", build_system64, "dma_write_sequence", (10_000, 200_000)),
+    ("dma_interleaved", build_system64, "dma_interleaved_sequence", (10_000, 200_000)),
+]
+
+#: Table 8/12-scale sequence lengths the >=5x floor applies to.
+TABLE_LENGTHS = (2047, 8192, 32768)
+
+
+def _time_one(builder, method, n, fast):
+    context = fastpath.forced_on() if fast else fastpath.disabled()
+    with context:
+        system = builder()
+        bench = TransferBench(system)
+        start = time.perf_counter()
+        result = getattr(bench, method)(n)
+        host = time.perf_counter() - start
+    return host, result.total_ps
+
+
+def run(check: bool) -> int:
+    report = {"unit": "host seconds per run", "workloads": [], "speedups": {}}
+    failures = []
+    for label, builder, method, counts in WORKLOADS:
+        for n in counts:
+            fast_host, fast_ps = _time_one(builder, method, n, fast=True)
+            slow_host, slow_ps = _time_one(builder, method, n, fast=False)
+            if fast_ps != slow_ps:
+                failures.append(f"{label}({n}): simulated time diverged {fast_ps} != {slow_ps}")
+            speedup = slow_host / fast_host if fast_host else float("inf")
+            entry = {
+                "workload": label,
+                "words": n,
+                "host_s_fast": round(fast_host, 6),
+                "host_s_reference": round(slow_host, 6),
+                "words_per_sec_fast": round(n / fast_host) if fast_host else None,
+                "words_per_sec_reference": round(n / slow_host) if slow_host else None,
+                "total_ps": fast_ps,
+                "speedup": round(speedup, 2),
+            }
+            report["workloads"].append(entry)
+            print(
+                f"{label:>16} n={n:>7}: fast {fast_host * 1e3:8.2f} ms  "
+                f"reference {slow_host * 1e3:8.2f} ms  speedup {speedup:6.1f}x  "
+                f"({entry['words_per_sec_fast']:,} words/s)"
+            )
+            if label == "dma_interleaved" and n == 200_000:
+                report["speedups"]["dma_interleaved_200k"] = round(speedup, 2)
+                if check and speedup < 10.0:
+                    failures.append(
+                        f"dma_interleaved_sequence(200_000) speedup {speedup:.1f}x < 10x floor"
+                    )
+
+    for n in TABLE_LENGTHS:
+        fast_host, fast_ps = _time_one(build_system64, "dma_interleaved_sequence", n, fast=True)
+        slow_host, slow_ps = _time_one(build_system64, "dma_interleaved_sequence", n, fast=False)
+        if fast_ps != slow_ps:
+            failures.append(f"table8({n}): simulated time diverged {fast_ps} != {slow_ps}")
+        speedup = slow_host / fast_host if fast_host else float("inf")
+        report["speedups"][f"table8_interleaved_{n}"] = round(speedup, 2)
+        print(f"table8 interleaved n={n:>6}: speedup {speedup:6.1f}x")
+        if check and n >= 8192 and speedup < 5.0:
+            failures.append(f"table8 interleaved({n}) speedup {speedup:.1f}x < 5x floor")
+
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the speedup floors (default: report-only)",
+    )
+    args = parser.parse_args()
+    return run(check=args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
+from ..engine import fastpath
 from ..engine.clock import ClockDomain
 from ..engine.stats import StatsGroup
 from ..errors import AddressDecodeError, BusError, BusWidthError
@@ -168,6 +169,146 @@ class Bus:
                 posted=released is not None,
             )
         return Completion(done_ps=done, value=value, released_ps=released)
+
+    def fast_path_active(self) -> bool:
+        """Whether the closed-form burst path may be used on this bus.
+
+        A trace hook forces the per-request path, because only that path
+        emits the per-transaction trace events (trace output must stay
+        byte-identical whether or not the fast path exists).
+        """
+        return self.tracer is None and fastpath.enabled()
+
+    def request_burst(
+        self,
+        when_ps: int,
+        op: Op,
+        address: int,
+        size_bytes: int,
+        beats: int,
+        data: Any = None,
+        master=None,
+        fixed_address: bool = False,
+    ) -> Completion:
+        """Move ``beats`` homogeneous beats, in closed form when possible.
+
+        Semantically identical to issuing the burst as max-burst-sized
+        :meth:`request` calls (the reference path): same completion time,
+        same aggregate statistics, same functional data movement.  When the
+        fast path is active and the decoded slave implements
+        ``access_burst``, arbitration + tenure timing for all sub-bursts is
+        computed in one closed-form step and statistics are charged with
+        pre-aggregated counts; otherwise it falls back to the per-request
+        loop.  ``fixed_address`` keeps every sub-burst at ``address`` (dock
+        data-window semantics) instead of walking the address upward.
+        """
+        if size_bytes * 8 > self.width_bits:
+            raise BusWidthError(
+                f"{self.name} is {self.width_bits}-bit; cannot carry "
+                f"{size_bytes * 8}-bit beats"
+            )
+        if beats <= 0:
+            raise BusError("burst must have at least one beat")
+        chunk = self.max_burst_beats
+        if beats <= chunk:
+            txn = Transaction(op=op, address=address, size_bytes=size_bytes, beats=beats, data=data)
+            return self.request(when_ps, txn, master=master)
+        decode_len = chunk * size_bytes if fixed_address else beats * size_bytes
+        attachment = self.decode(address, decode_len)
+        access_burst = getattr(attachment.slave, "access_burst", None)
+        if not self.fast_path_active() or access_burst is None:
+            return self._chunked_requests(
+                when_ps, op, address, size_bytes, beats, data, master, fixed_address
+            )
+
+        full, rem = divmod(beats, chunk)
+        start = self.clock.next_edge(max(when_ps, self._busy_until))
+        result = access_burst(op, address, size_bytes, beats, chunk, data, start)
+        if result is None:  # slave cannot serve this burst as a block
+            return self._chunked_requests(
+                when_ps, op, address, size_bytes, beats, data, master, fixed_address
+            )
+        wait_full, wait_rem, values = result
+        if wait_full < 0 or wait_rem < 0:
+            raise BusError(f"slave {attachment.name} returned negative wait states")
+
+        def tenure_ps(sub_beats: int, wait_cycles: int) -> int:
+            if self.pipelined_bursts:
+                cycles = self.arb_cycles + max(self.addr_cycles, 0) + sub_beats * self.beat_cycles
+            else:
+                cycles = self.arb_cycles + (self.addr_cycles + self.beat_cycles) * sub_beats
+            cycles += wait_cycles
+            if op is Op.READ:
+                cycles += self.read_turnaround_cycles
+            return self.clock.cycles_to_ps(cycles)
+
+        t_full = tenure_ps(chunk, wait_full)
+        total = full * t_full
+        n_requests = full
+        t_last = t_full
+        tenures_min, tenures_max = t_full, t_full
+        if rem:
+            t_rem = tenure_ps(rem, wait_rem)
+            total += t_rem
+            n_requests += 1
+            t_last = t_rem
+            tenures_min = min(tenures_min, t_rem)
+            tenures_max = max(tenures_max, t_rem)
+        done = start + total
+        self._busy_until = done
+
+        released: Optional[int] = None
+        if op is Op.WRITE and attachment.posted_writes:
+            released = (done - t_last) + self.clock.cycles_to_ps(self.arb_cycles + self.addr_cycles)
+
+        self.stats.count_many({f"{op.value}s": n_requests, "beats": beats})
+        self.stats.record_many("busy_ps", total, n_requests, tenures_min, tenures_max)
+        if master is not None:
+            self.stats.count(f"master[{master.name}].{op.value}s", n_requests)
+            self.stats.record_many(
+                f"master[{master.name}].busy_ps", total, n_requests, tenures_min, tenures_max
+            )
+            wait_for_bus = start - self.clock.next_edge(when_ps)
+            if wait_for_bus > 0:
+                self.stats.record(f"master[{master.name}].contention_ps", wait_for_bus)
+        return Completion(done_ps=done, value=values, released_ps=released)
+
+    def _chunked_requests(
+        self,
+        when_ps: int,
+        op: Op,
+        address: int,
+        size_bytes: int,
+        beats: int,
+        data: Any,
+        master,
+        fixed_address: bool,
+    ) -> Completion:
+        """Reference path for :meth:`request_burst`: one request per sub-burst."""
+        remaining = beats
+        cursor = when_ps
+        addr = address
+        offset = 0
+        values: List[Any] = []
+        released: Optional[int] = None
+        while remaining > 0:
+            sub_beats = min(remaining, self.max_burst_beats)
+            sub_data = None
+            if data is not None:
+                sub_data = data[offset : offset + sub_beats]
+            txn = Transaction(op=op, address=addr, size_bytes=size_bytes, beats=sub_beats, data=sub_data)
+            completion = self.request(cursor, txn, master=master)
+            if completion.value is not None:
+                values.extend(
+                    completion.value if isinstance(completion.value, (list, tuple)) else [completion.value]
+                )
+            cursor = completion.done_ps
+            released = completion.released_ps
+            if not fixed_address:
+                addr += sub_beats * size_bytes
+            offset += sub_beats
+            remaining -= sub_beats
+        return Completion(done_ps=cursor, value=values if values else None, released_ps=released)
 
     def request_concurrent(self, when_ps: int, requests, arbiter) -> List[Completion]:
         """Issue several same-edge requests in arbiter-granted order.

@@ -127,8 +127,10 @@ class TransferBench:
             cpu.io_read(system.dock.base)
             cpu.execute_cycles(PIO_LOOP_CYCLES)
         if n > probe:
-            per_pair = (cpu.now_ps - probe_start) // probe
-            cpu.now_ps += per_pair * (n - probe)
+            # Extrapolate in exact integer ps: multiplying the probe total
+            # before dividing carries the per-pair remainder, where
+            # (total // probe) * (n - probe) would bias long sequences fast.
+            cpu.now_ps += (cpu.now_ps - probe_start) * (n - probe) // probe
         # Memory legs: same accounting as the write/read sequences.
         charge_word_reads(system, memmap.STAGE_INPUT, n)
         charge_word_writes(system, memmap.STAGE_OUTPUT, n)

@@ -61,6 +61,12 @@ class SgDmaEngine:
     def _chunk(self) -> int:
         return self.bus.max_burst_beats
 
+    def _fast_ok(self) -> bool:
+        """Use the closed-form burst path?  Never when a trace hook is
+        installed (only the per-chunk path emits trace events) or the fast
+        path is globally disabled."""
+        return self.bus.fast_path_active()
+
     def run_chain(self, when_ps: int, descriptors: Sequence[Descriptor]) -> int:
         """Execute a descriptor chain starting at ``when_ps``.
 
@@ -129,7 +135,34 @@ class SgDmaEngine:
         return sim.process(_runner(), name=f"{self.name}.chain")
 
     # -- movement primitives ------------------------------------------------
+    #
+    # Each primitive has two implementations producing identical simulated
+    # timestamps, data movement and aggregate statistics: the per-chunk
+    # reference loop (ground truth, emits trace events) and a vectorized
+    # variant moving the whole descriptor as NumPy blocks through
+    # ``Bus.request_burst``.  The bus serialises this engine's tenures, so
+    # the read->write interleaving of the reference loop and the
+    # read-all-then-write-all order of the block variant sum to the same
+    # completion time (every sub-tenure starts exactly when the previous
+    # one ends, on a clock edge).
+
     def _memory_to_dock(self, cursor: int, d: Descriptor) -> int:
+        if self._fast_ok():
+            read = self.bus.request_burst(
+                cursor, Op.READ, d.src, d.size_bytes, d.word_count, master=DMA_ENGINE
+            )
+            write = self.bus.request_burst(
+                read.done_ps,
+                Op.WRITE,
+                self.dock_base,
+                d.size_bytes,
+                d.word_count,
+                data=read.value,
+                master=DMA_ENGINE,
+                fixed_address=True,
+            )
+            self.stats.count("words_to_dock", d.word_count)
+            return write.done_ps
         remaining = d.word_count
         address = d.src
         assert address is not None
@@ -159,6 +192,27 @@ class SgDmaEngine:
         return cursor
 
     def _fifo_to_memory(self, cursor: int, d: Descriptor) -> int:
+        if self._fast_ok():
+            read = self.bus.request_burst(
+                cursor,
+                Op.READ,
+                self.dock_base,
+                d.size_bytes,
+                d.word_count,
+                master=DMA_ENGINE,
+                fixed_address=True,
+            )
+            write = self.bus.request_burst(
+                read.done_ps,
+                Op.WRITE,
+                d.dst,
+                d.size_bytes,
+                d.word_count,
+                data=read.value,
+                master=DMA_ENGINE,
+            )
+            self.stats.count("words_from_fifo", d.word_count)
+            return write.done_ps
         remaining = d.word_count
         address = d.dst
         assert address is not None
@@ -182,6 +236,21 @@ class SgDmaEngine:
         return cursor
 
     def _memory_to_memory(self, cursor: int, d: Descriptor) -> int:
+        if self._fast_ok():
+            read = self.bus.request_burst(
+                cursor, Op.READ, d.src, d.size_bytes, d.word_count, master=DMA_ENGINE
+            )
+            write = self.bus.request_burst(
+                read.done_ps,
+                Op.WRITE,
+                d.dst,
+                d.size_bytes,
+                d.word_count,
+                data=read.value,
+                master=DMA_ENGINE,
+            )
+            self.stats.count("words_copied", d.word_count)
+            return write.done_ps
         remaining = d.word_count
         src, dst = d.src, d.dst
         assert src is not None and dst is not None

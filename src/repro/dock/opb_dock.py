@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
+import numpy as np
+
 from ..bus.transaction import Op, Transaction
 from ..engine.stats import StatsGroup
 from ..errors import KernelError
@@ -83,7 +85,7 @@ class OpbDock:
             raise KernelError(f"{self.name}: {txn.size_bytes * 8}-bit beat on a 32-bit dock")
         offset = txn.address - self.base
         if txn.op is Op.WRITE:
-            payload = txn.data if isinstance(txn.data, (list, tuple)) else [txn.data]
+            payload = txn.data if isinstance(txn.data, (list, tuple, np.ndarray)) else [txn.data]
             for value in payload:
                 self._write_word(offset, int(value) if value is not None else 0)
             return self.WRITE_WAIT * txn.beats, None

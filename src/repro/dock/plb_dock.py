@@ -27,6 +27,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional, Tuple
 
+import numpy as np
+
 from ..bus.bus import Bus
 from ..bus.transaction import Op, Transaction
 from ..engine.stats import StatsGroup
@@ -120,9 +122,12 @@ class PlbDock:
         """
         if self.kernel is None:
             return 0
-        words = self.kernel.produce()
-        for word in words:
-            self.fifo.push(word)
+        words = self.kernel.produce_array() if hasattr(self.kernel, "produce_array") else None
+        if words is None:
+            scalar_words = self.kernel.produce()
+            self.fifo.push_many(scalar_words)
+            return len(scalar_words)
+        self.fifo.push_many(words)
         return len(words)
 
     # -- data path ---------------------------------------------------------
@@ -135,6 +140,26 @@ class PlbDock:
         for word in self.kernel.produce():
             self.fifo.push(word)
 
+    def _deliver_block(self, values: np.ndarray, width_bits: int, offset: int = 0) -> None:
+        """Vectorized :meth:`_deliver`: one kernel call, one FIFO append.
+
+        Produces the same dock/kernel/FIFO state and aggregate statistics
+        as delivering the words one at a time.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        masked = values.astype(np.uint64, copy=False)
+        if width_bits < 64:
+            masked = masked & np.uint64((1 << width_bits) - 1)
+        self.write_latch = int(masked[-1])
+        self.stats.count("words_in", n)
+        if self.kernel is None:
+            return
+        produced = self.kernel.consume_block(masked, width_bits, offset)
+        if len(produced):
+            self.fifo.push_many(produced)
+
     def _fetch(self, offset: int) -> int:
         self.stats.count("words_out")
         if not self.fifo.empty:
@@ -144,6 +169,15 @@ class PlbDock:
         if self.kernel is not None:
             return self.kernel.read_register(offset)
         return 0xDEADC0DE
+
+    def _fetch_block(self, count: int, width_bits: int) -> np.ndarray:
+        """Vectorized :meth:`_fetch` for the case the FIFO covers the whole
+        burst (the caller checks); one ring-buffer copy."""
+        self.stats.count("words_out", count)
+        values = self.fifo.pop_array(count)
+        if width_bits < 64:
+            values = values & np.uint64((1 << width_bits) - 1)
+        return values
 
     # -- bus slave -----------------------------------------------------------
     def access(self, txn: Transaction, when_ps: int) -> Tuple[int, Any]:
@@ -157,13 +191,49 @@ class PlbDock:
         if width > self.WIDTH_BITS:
             raise KernelError(f"{self.name}: beat wider than the dock channel")
         if txn.op is Op.WRITE:
-            payload = txn.data if isinstance(txn.data, (list, tuple)) else [txn.data]
+            payload = txn.data if isinstance(txn.data, (list, tuple, np.ndarray)) else [txn.data]
             for value in payload:
                 self._deliver(int(value) if value is not None else 0, width, offset)
             return self.WRITE_WAIT * txn.beats, None
         mask = (1 << width) - 1
         values = [self._fetch(offset) & mask for _ in range(txn.beats)]
         return self.READ_WAIT * txn.beats, values[0] if txn.beats == 1 else values
+
+    def access_burst(
+        self,
+        op: Op,
+        address: int,
+        size_bytes: int,
+        beats: int,
+        chunk_beats: int,
+        data: Any,
+        when_ps: int,
+    ) -> Optional[Tuple[int, int, Any]]:
+        """Block variant of the data-window access for the burst fast path.
+
+        Returns ``(wait_full_chunk, wait_tail_chunk, values)`` or ``None``
+        when this burst cannot be served as one block (register window, or
+        a read that would fall through to PIO-output/register sources —
+        the per-beat reference path handles those).
+        """
+        offset = address - self.base
+        if offset >= DATA_WINDOW:
+            return None
+        width = size_bytes * 8
+        if width > self.WIDTH_BITS:
+            raise KernelError(f"{self.name}: beat wider than the dock channel")
+        tail = beats % chunk_beats
+        if op is Op.WRITE:
+            if data is None:
+                block = np.zeros(beats, dtype=np.uint64)
+            else:
+                block = np.asarray(data).astype(np.uint64, copy=False)
+            self._deliver_block(block[:beats], width, offset)
+            return self.WRITE_WAIT * chunk_beats, self.WRITE_WAIT * tail, None
+        if len(self.fifo) < beats:
+            return None
+        values = self._fetch_block(beats, width)
+        return self.READ_WAIT * chunk_beats, self.READ_WAIT * tail, values
 
     def _register_access(self, txn: Transaction, offset: int, when_ps: int) -> Tuple[int, Any]:
         if txn.op is Op.WRITE:

@@ -45,6 +45,24 @@ class Accumulator:
         if amount > self.maximum:
             self.maximum = amount
 
+    def add_aggregate(self, total: float, count: int, minimum: float, maximum: float) -> None:
+        """Fold in ``count`` samples at once (pre-aggregated).
+
+        Equivalent to ``count`` individual :meth:`add` calls whose sum,
+        minimum and maximum are the given values — the batched fast paths
+        use this to charge a whole burst in O(1).
+        """
+        if count < 0:
+            raise ValueError("Accumulator.add_aggregate count must be non-negative")
+        if count == 0:
+            return
+        self.total += total
+        self.count += count
+        if minimum < self.minimum:
+            self.minimum = minimum
+        if maximum > self.maximum:
+            self.maximum = maximum
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -87,6 +105,22 @@ class StatsGroup:
     def record(self, name: str, amount: float) -> None:
         """Add a sample to accumulator ``name``."""
         self.accumulator(name).add(amount)
+
+    def count_many(self, increments: Dict[str, int]) -> None:
+        """Apply several counter increments at once (``{name: amount}``)."""
+        for name, amount in increments.items():
+            self.counter(name).add(amount)
+
+    def record_many(
+        self, name: str, total: float, count: int, minimum: float, maximum: float
+    ) -> None:
+        """Fold ``count`` pre-aggregated samples into accumulator ``name``.
+
+        Aggregate-equivalent to ``count`` :meth:`record` calls; the burst
+        fast paths use it to keep statistics identical to the per-beat
+        path without per-beat Python calls.
+        """
+        self.accumulator(name).add_aggregate(total, count, minimum, maximum)
 
     def get(self, name: str) -> float:
         """Read a counter (or accumulator total) by name; 0 if absent."""

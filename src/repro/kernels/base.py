@@ -16,6 +16,8 @@ import math
 from collections import deque
 from typing import Deque, List
 
+import numpy as np
+
 from ..bitstream.component import ComponentConfig
 from ..dock.interface import kernel_ports
 from ..errors import KernelError
@@ -40,7 +42,8 @@ class BaseKernel:
     PIPELINE_DEPTH = 1
 
     def __init__(self) -> None:
-        self._out: Deque[int] = deque()
+        #: Output queue: int words and/or uint64 ndarray blocks, in emit order.
+        self._out: Deque = deque()
 
     # -- StreamingKernel skeleton -------------------------------------------
     def reset(self) -> None:
@@ -50,15 +53,50 @@ class BaseKernel:
         raise NotImplementedError
 
     def produce(self) -> List[int]:
-        drained = list(self._out)
+        drained: List[int] = []
+        for segment in self._out:
+            if isinstance(segment, np.ndarray):
+                drained.extend(int(v) for v in segment)
+            else:
+                drained.append(segment)
         self._out.clear()
         return drained
+
+    def produce_array(self) -> np.ndarray:
+        """Drain the output queue as one ``uint64`` array (fast-path side
+        of :meth:`produce`; same words in the same order)."""
+        if not self._out:
+            return np.empty(0, dtype=np.uint64)
+        segments = [
+            seg if isinstance(seg, np.ndarray) else np.array([seg], dtype=np.uint64)
+            for seg in self._out
+        ]
+        self._out.clear()
+        return segments[0] if len(segments) == 1 else np.concatenate(segments)
+
+    def consume_block(self, values: np.ndarray, width_bits: int, offset: int = 0) -> np.ndarray:
+        """Consume a block of already-masked words; return the words the
+        kernel emits in response, in order.
+
+        The default replays the per-word protocol (``consume`` each word,
+        then drain), so any kernel is block-safe; vectorized kernels
+        override it.  Equivalent to the per-word path: the dock pushes the
+        returned words into its FIFO exactly as the scalar loop would.
+        """
+        for value in values:
+            self.consume(int(value), width_bits, offset)
+        return self.produce_array()
 
     def read_register(self, offset: int) -> int:
         return 0
 
     def _emit(self, word: int) -> None:
         self._out.append(word)
+
+    def _emit_block(self, words: np.ndarray) -> None:
+        """Queue a whole array of output words in one append."""
+        if len(words):
+            self._out.append(np.asarray(words, dtype=np.uint64))
 
     # -- physical side ------------------------------------------------------
     def slice_demand(self, bus_width: int) -> int:

@@ -13,6 +13,8 @@ give the dock something to talk to:
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import KernelError
 from .base import BaseKernel
 
@@ -39,6 +41,12 @@ class SinkKernel(BaseKernel):
     def consume(self, value: int, width_bits: int, offset: int = 0) -> None:
         self.words += 1
         self.last = value
+
+    def consume_block(self, values: np.ndarray, width_bits: int, offset: int = 0) -> np.ndarray:
+        self.words += len(values)
+        if len(values):
+            self.last = int(values[-1])
+        return self.produce_array()
 
     def read_register(self, offset: int) -> int:
         if offset == REG_COUNT:
@@ -67,10 +75,13 @@ class CounterSourceKernel(BaseKernel):
 
     def generate(self, count: int, width_bits: int = 64) -> None:
         """Queue ``count`` output words (the dock collects them)."""
+        if count <= 0:
+            return
         mask = (1 << width_bits) - 1
-        for _ in range(count):
-            self._emit((self.seed + self._n) & mask)
-            self._n += 1
+        start = (self.seed + self._n) & ((1 << 64) - 1)
+        values = (np.uint64(start) + np.arange(count, dtype=np.uint64)) & np.uint64(mask)
+        self._emit_block(values)
+        self._n += count
 
     def read_register(self, offset: int) -> int:
         value = (self.seed + self._n) & 0xFFFFFFFF
@@ -102,6 +113,27 @@ class LoopbackKernel(BaseKernel):
         self._pipe.append(value)
         if len(self._pipe) >= self.PIPELINE_DEPTH:
             self._emit(self._pipe.pop(0))
+
+    def consume_block(self, values: np.ndarray, width_bits: int, offset: int = 0) -> np.ndarray:
+        self.words += len(values)
+        pending = self.produce_array()  # anything emitted before this block
+        if self._pipe:
+            combined = np.concatenate([np.array(self._pipe, dtype=np.uint64), values])
+        else:
+            combined = values
+        keep = self.PIPELINE_DEPTH - 1
+        if keep == 0:
+            self._pipe = []
+            out = combined
+        elif len(combined) <= keep:
+            self._pipe = [int(v) for v in combined]
+            out = np.empty(0, dtype=np.uint64)
+        else:
+            self._pipe = [int(v) for v in combined[len(combined) - keep :]]
+            out = combined[: len(combined) - keep]
+        if len(pending):
+            out = np.concatenate([pending, out])
+        return out
 
     def flush(self) -> None:
         """Drain the pipeline (end of a sequence)."""

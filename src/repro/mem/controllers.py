@@ -16,7 +16,9 @@ documented behaviour; tests pin the resulting per-access latencies.
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
+
+import numpy as np
 
 from ..engine.stats import StatsGroup
 from ..fabric.resources import ResourceVector
@@ -45,7 +47,7 @@ class _MemoryController:
     def access(self, txn: Transaction, when_ps: int) -> Tuple[int, Any]:
         offset = txn.address - self.base
         if txn.op is Op.WRITE:
-            payload = txn.data if isinstance(txn.data, (list, tuple)) else [txn.data]
+            payload = txn.data if isinstance(txn.data, (list, tuple, np.ndarray)) else [txn.data]
             values = [0 if v is None else int(v) for v in payload]
             if len(values) < txn.beats:
                 values = values + [0] * (txn.beats - len(values))
@@ -57,6 +59,41 @@ class _MemoryController:
         self.stats.count("reads", txn.beats)
         wait = self.READ_WAIT + self.READ_BEAT_WAIT * (txn.beats - 1)
         return wait, values[0] if txn.beats == 1 else values
+
+    def access_burst(
+        self,
+        op: Op,
+        address: int,
+        size_bytes: int,
+        beats: int,
+        chunk_beats: int,
+        data: Any,
+        when_ps: int,
+    ) -> Optional[Tuple[int, int, Any]]:
+        """Block variant of :meth:`access` for the burst fast path.
+
+        Moves all ``beats`` words in one array operation and returns
+        ``(wait_full_chunk, wait_tail_chunk, values)`` — the wait states a
+        ``chunk_beats``-sized sub-burst and the final partial sub-burst
+        would each have cost on the reference path.
+        """
+        offset = address - self.base
+        tail = beats % chunk_beats
+        if op is Op.WRITE:
+            if data is None:
+                arr = np.zeros(beats, dtype=np.uint64)
+            else:
+                arr = np.asarray(data).astype(np.uint64, copy=False)
+            self.memory.write_words_array(offset, arr[:beats], size_bytes)
+            self.stats.count("writes", beats)
+            wait_full = self.WRITE_WAIT + self.WRITE_BEAT_WAIT * (chunk_beats - 1)
+            wait_tail = self.WRITE_WAIT + self.WRITE_BEAT_WAIT * (tail - 1) if tail else 0
+            return wait_full, wait_tail, None
+        values = self.memory.read_words_array(offset, beats, size_bytes)
+        self.stats.count("reads", beats)
+        wait_full = self.READ_WAIT + self.READ_BEAT_WAIT * (chunk_beats - 1)
+        wait_tail = self.READ_WAIT + self.READ_BEAT_WAIT * (tail - 1) if tail else 0
+        return wait_full, wait_tail, values
 
 
 class SramController(_MemoryController):

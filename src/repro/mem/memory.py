@@ -58,6 +58,24 @@ class MemoryArray:
         arr = np.array([int(v) for v in values], dtype=np.uint64).astype(dtype)
         self._data[offset : offset + len(values) * size_bytes] = arr.view(np.uint8)
 
+    # -- block access (burst fast path) -------------------------------------
+    def read_words_array(self, offset: int, count: int, size_bytes: int = 4) -> np.ndarray:
+        """Like :meth:`read_words` but returns a ``uint64`` NumPy array."""
+        self._check(offset, count * size_bytes)
+        dtype = self._DTYPES[size_bytes]
+        view = self._data[offset : offset + count * size_bytes].view(dtype)
+        return view.astype(np.uint64)
+
+    def write_words_array(self, offset: int, values: np.ndarray, size_bytes: int = 4) -> None:
+        """Like :meth:`write_words` but takes a NumPy array (no per-word
+        Python conversion; values are truncated to ``size_bytes`` exactly
+        as the scalar path's masking does)."""
+        arr = np.asarray(values)
+        self._check(offset, arr.size * size_bytes)
+        dtype = self._DTYPES[size_bytes]
+        narrowed = arr.astype(np.uint64, copy=False).astype(dtype, copy=False)
+        self._data[offset : offset + arr.size * size_bytes] = narrowed.view(np.uint8)
+
     # -- zero-time testbench access ------------------------------------------
     def load(self, offset: int, data: bytes | np.ndarray) -> None:
         """Stage data without consuming simulated time."""

@@ -99,3 +99,37 @@ def test_bandwidth_computation(bench64):
 def test_dma_sequences_report_64bit_words(bench64):
     assert bench64.dma_write_sequence(128).word_bits == 64
     assert bench64.dma_interleaved_sequence(128).word_bits == 64
+
+
+def test_pio_interleaved_extrapolation_matches_full_simulation():
+    """The probe-extrapolated interleaved sequence must track a fully
+    simulated per-pair loop with no systematic truncation bias (the old
+    ``total // probe`` formula dropped the remainder before multiplying,
+    biasing long sequences fast)."""
+    from repro.core import build_system32, build_system64, memmap
+    from repro.core.transfer import PIO_LOOP_CYCLES
+    from repro.kernels.streams import LoopbackKernel
+    from repro.sw.costmodel import charge_word_reads, charge_word_writes
+
+    def fully_simulated(builder, n):
+        system = builder()
+        bench = TransferBench(system)
+        bench._fresh_caches()
+        system.dock.attach_kernel(LoopbackKernel(pipeline_depth=1))
+        cpu = system.cpu
+        start = cpu.now_ps
+        for i in range(n):
+            cpu.io_write(system.dock.base, i)
+            cpu.io_read(system.dock.base)
+            cpu.execute_cycles(PIO_LOOP_CYCLES)
+        charge_word_reads(system, memmap.STAGE_INPUT, n)
+        charge_word_writes(system, memmap.STAGE_OUTPUT, n)
+        return cpu.now_ps - start
+
+    n = 512
+    for builder in (build_system32, build_system64):
+        extrapolated = TransferBench(builder()).pio_interleaved_sequence(n).total_ps
+        full = fully_simulated(builder, n)
+        # Any residual error is the probe's first-pair transient, bounded
+        # and independent of n -- not an accumulating per-pair truncation.
+        assert extrapolated == pytest.approx(full, rel=0.005)

@@ -74,3 +74,84 @@ def test_fifo_preserves_order_and_values(values):
     fifo = OutputFifo(depth=64)
     fifo.push_many(values)
     assert fifo.pop_many(len(values)) == [v & (2**64 - 1) for v in values]
+
+# -- ring-buffer edge cases (vectorized fast path) --------------------------
+
+
+def test_wraparound_block_push_pop():
+    """Blocks that straddle the ring boundary stay in order."""
+    fifo = OutputFifo(depth=8)
+    fifo.push_many(range(6))
+    assert fifo.pop_many(5) == [0, 1, 2, 3, 4]  # head now at 5
+    fifo.push_many(range(100, 106))  # wraps past index 7
+    assert fifo.pop_many(7) == [5, 100, 101, 102, 103, 104, 105]
+    assert fifo.empty
+
+
+def test_drain_while_full_then_refill():
+    fifo = OutputFifo(depth=4)
+    fifo.push_many([1, 2, 3, 4])
+    assert fifo.full
+    assert [int(v) for v in fifo.pop_array(4)] == [1, 2, 3, 4]
+    assert fifo.empty
+    fifo.push_many([5, 6, 7, 8])
+    assert fifo.full
+    assert fifo.pop_many(4) == [5, 6, 7, 8]
+
+
+def test_underflow_raises_for_scalar_and_block():
+    fifo = OutputFifo(depth=4)
+    fifo.push(1)
+    with pytest.raises(TransferError):
+        fifo.pop_array(2)
+    fifo.pop()
+    with pytest.raises(TransferError):
+        fifo.pop()
+
+
+def test_push_many_overflow_keeps_what_fits_and_counts_once():
+    """Matches the scalar loop: fill to depth, then raise with one overflow."""
+    fifo = OutputFifo(depth=3)
+    with pytest.raises(TransferError):
+        fifo.push_many([1, 2, 3, 4, 5])
+    assert fifo.overflows == 1
+    assert len(fifo) == 3
+    assert fifo.pop_many(3) == [1, 2, 3]
+
+
+def test_push_many_accepts_numpy_arrays():
+    import numpy as np
+
+    fifo = OutputFifo(depth=8, width_bits=32)
+    fifo.push_many(np.array([0x1_0000_0001, 2], dtype=np.uint64))
+    assert fifo.pop_many(2) == [1, 2]
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(1, 7)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_ring_buffer_matches_reference_deque(ops):
+    """Interleaved block pushes/pops behave like a plain deque."""
+    from collections import deque
+
+    fifo = OutputFifo(depth=16)
+    model = deque()
+    counter = 0
+    for is_push, amount in ops:
+        if is_push:
+            amount = min(amount, fifo.free)
+            if amount == 0:
+                continue
+            values = list(range(counter, counter + amount))
+            counter += amount
+            fifo.push_many(values)
+            model.extend(values)
+        else:
+            amount = min(amount, len(fifo))
+            assert fifo.pop_many(amount) == [model.popleft() for _ in range(amount)]
+        assert len(fifo) == len(model)
+    assert fifo.pop_many(len(fifo)) == list(model)
