@@ -1,0 +1,190 @@
+"""Bus / address-map design-rule checks.
+
+Checks run over either raw decode-window plans (``(name, base, size)``
+tuples — useful before any hardware object exists) or over built
+:class:`repro.bus.bus.Bus` instances and whole systems.  The rules catch
+the address-map mistakes that otherwise surface mid-simulation as
+:class:`repro.errors.AddressDecodeError` — or worse, not at all (an OPB
+peripheral that no PLB bridge window reaches is simply dead to the CPU).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..bus.bus import Bus
+from ..bus.transaction import AddressRange
+from .diagnostics import CheckReport, Severity, register_rule
+
+#: A raw decode-window plan entry.
+Window = Tuple[str, int, int]  # (name, base, size)
+
+register_rule(
+    "BUS001",
+    "decode-window-overlap",
+    "Two slaves claiming the same addresses make decoding ambiguous; which "
+    "one answers depends on attachment order.",
+)
+register_rule(
+    "BUS002",
+    "decode-window-misaligned",
+    "A window base that is not aligned to the bus beat size splits single "
+    "beats across slaves and breaks burst address arithmetic.",
+    severity=Severity.WARNING,
+)
+register_rule(
+    "BUS003",
+    "peripheral-unreachable-from-plb",
+    "An OPB slave outside every PLB bridge window cannot be addressed by "
+    "the CPU or any PLB master — it is dead configuration.",
+)
+register_rule(
+    "BUS004",
+    "dead-bridge-window",
+    "A PLB bridge window whose range no OPB slave decodes turns every "
+    "access into a mid-simulation AddressDecodeError.",
+    severity=Severity.WARNING,
+)
+register_rule(
+    "BUS005",
+    "clock-domain-mismatch",
+    "A component's master/forwarding port must be wired to the bus that "
+    "decodes it; crossing synchronous islands without a bridge gives "
+    "wrong timing (and on hardware, metastability).",
+)
+
+
+def _ranges(windows: Sequence[Window]):
+    return [(name, AddressRange(base, size)) for name, base, size in windows]
+
+
+def check_address_map(
+    windows: Sequence[Window],
+    beat_bytes: int = 4,
+    bus_name: str = "bus",
+    report: Optional[CheckReport] = None,
+) -> CheckReport:
+    """DRC over a decode-window plan: overlap and alignment."""
+    report = report if report is not None else CheckReport()
+    ranges = _ranges(windows)
+    for i, (name, rng) in enumerate(ranges):
+        for other_name, other in ranges[i + 1 :]:
+            if rng.overlaps(other):
+                report.add(
+                    "BUS001",
+                    f"windows {name!r} {rng} and {other_name!r} {other} overlap",
+                    obj=f"{bus_name}.{name}",
+                    hint="give each slave a disjoint address range",
+                )
+        if rng.base % beat_bytes:
+            report.add(
+                "BUS002",
+                f"window {name!r} base {rng.base:#010x} is not {beat_bytes}-byte aligned",
+                obj=f"{bus_name}.{name}",
+                hint=f"align the base to the bus beat size ({beat_bytes} bytes)",
+            )
+    return report
+
+
+def check_bridge_map(
+    bridge_windows: Sequence[Window],
+    opb_windows: Sequence[Window],
+    bus_name: str = "plb",
+    report: Optional[CheckReport] = None,
+) -> CheckReport:
+    """Reachability between a PLB's bridge windows and the OPB map."""
+    report = report if report is not None else CheckReport()
+    bridges = _ranges(bridge_windows)
+    peripherals = _ranges(opb_windows)
+    for name, rng in peripherals:
+        covered = any(
+            bridge.contains(rng.base, rng.size) for _, bridge in bridges
+        )
+        if not covered:
+            report.add(
+                "BUS003",
+                f"OPB slave {name!r} {rng} is not covered by any PLB bridge window",
+                obj=f"{bus_name}.{name}",
+                hint="extend a bridge window over the peripheral's range",
+            )
+    for name, rng in bridges:
+        if not any(rng.overlaps(per) for _, per in peripherals):
+            report.add(
+                "BUS004",
+                f"bridge window {name!r} {rng} decodes to no OPB slave",
+                obj=f"{bus_name}.{name}",
+                hint="remove the window or attach the missing peripheral",
+            )
+    return report
+
+
+def _bus_windows(bus: Bus) -> Sequence[Window]:
+    return [(att.name, att.range.base, att.range.size) for att in bus.attachments]
+
+
+def check_bus(bus: Bus, report: Optional[CheckReport] = None) -> CheckReport:
+    """DRC over one built bus (alignment; overlap is impossible post-attach
+    but re-checked for defence in depth)."""
+    return check_address_map(
+        _bus_windows(bus), beat_bytes=bus.width_bits // 8, bus_name=bus.name, report=report
+    )
+
+
+def check_bus_topology(
+    plb: Bus,
+    opb: Bus,
+    bridge: object,
+    report: Optional[CheckReport] = None,
+) -> CheckReport:
+    """Cross-bus DRC: per-bus maps, bridge reachability, bridge binding."""
+    report = report if report is not None else CheckReport()
+    check_bus(plb, report=report)
+    check_bus(opb, report=report)
+
+    bridge_windows = [
+        (att.name, att.range.base, att.range.size)
+        for att in plb.attachments
+        if att.slave is bridge
+    ]
+    check_bridge_map(bridge_windows, _bus_windows(opb), bus_name=plb.name, report=report)
+
+    # The bridge object itself must forward from the PLB it is attached to
+    # onto this very OPB — anything else crosses clock domains unmodelled.
+    wired_plb = getattr(bridge, "plb", None)
+    wired_opb = getattr(bridge, "opb", None)
+    if bridge_windows and wired_plb is not None and wired_plb is not plb:
+        report.add(
+            "BUS005",
+            f"bridge {getattr(bridge, 'name', 'bridge')!r} is attached to "
+            f"{plb.name!r} but forwards from {wired_plb.name!r} "
+            f"({wired_plb.clock} vs {plb.clock})",
+            obj=f"{plb.name}.bridge",
+            hint="construct the bridge with the bus it is attached to",
+        )
+    if bridge_windows and wired_opb is not None and wired_opb is not opb:
+        report.add(
+            "BUS005",
+            f"bridge {getattr(bridge, 'name', 'bridge')!r} forwards onto "
+            f"{wired_opb.name!r}, not this system's {opb.name!r}",
+            obj=f"{plb.name}.bridge",
+        )
+    return report
+
+
+def check_master_binding(
+    bus: Bus, dock: object, report: Optional[CheckReport] = None, obj: str = "dock"
+) -> CheckReport:
+    """A dock's DMA master port must sit on the bus that decodes the dock."""
+    report = report if report is not None else CheckReport()
+    dma = getattr(dock, "dma", None)
+    if dma is None:
+        return report
+    if dma.bus is not bus:
+        report.add(
+            "BUS005",
+            f"{getattr(dock, 'name', obj)}: DMA engine masters {dma.bus.name!r} "
+            f"({dma.bus.clock}) but the dock is decoded on {bus.name!r} ({bus.clock})",
+            obj=obj,
+            hint="call dock.connect_bus() with the bus the dock is attached to",
+        )
+    return report

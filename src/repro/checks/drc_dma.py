@@ -1,0 +1,229 @@
+"""DMA-program design-rule checks.
+
+The scatter-gather engine of the PLB Dock executes *descriptor programs*:
+linked lists of (source, destination, length) elements the host writes
+into memory before starting the transfer.  A bad program does not fail at
+programming time — it fails mid-transfer, after seconds of simulated (or
+real) work, or silently corrupts the dock's register window.  These pure
+functions validate a program up front.
+
+:class:`ChainDescriptor` is the *raw* representation — deliberately
+unvalidated (unlike :class:`repro.dock.dma.Descriptor`, whose constructor
+raises), so the DRC can describe exactly what is wrong with a hostile or
+hand-built program, including link cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..dock.dma import Descriptor
+from .diagnostics import CheckReport, register_rule
+
+register_rule(
+    "DMA001",
+    "descriptor-chain-cycle",
+    "A cycle in the descriptor links makes the engine loop forever, "
+    "holding the bus; the transfer never completes.",
+)
+register_rule(
+    "DMA002",
+    "descriptor-zero-length",
+    "A descriptor moving zero (or negative) words stalls real engines and "
+    "is always a programming error.",
+)
+register_rule(
+    "DMA003",
+    "descriptor-misaligned",
+    "Burst beats must be naturally aligned to their size; misaligned "
+    "addresses split beats and defeat the 64-bit data path.",
+)
+register_rule(
+    "DMA004",
+    "transfer-crosses-dock-window",
+    "A memory-side transfer overlapping the dock's address window would "
+    "hit the data port or clobber the DMA/STATUS registers mid-run.",
+)
+register_rule(
+    "DMA005",
+    "transfer-exceeds-fifo",
+    "A FIFO-to-memory descriptor longer than the FIFO's depth can never "
+    "be satisfied without interleaved draining; the engine underruns.",
+)
+register_rule(
+    "DMA006",
+    "beat-wider-than-bus",
+    "Descriptor beats wider than the bus data path cannot be carried in "
+    "one beat; the program assumes the wrong system.",
+)
+
+_BEAT_SIZES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ChainDescriptor:
+    """One raw scatter-gather element as the host would write it.
+
+    ``src``/``dst`` are byte addresses; ``None`` designates the dock (write
+    channel as destination, output FIFO as source).  ``next_index`` links
+    to the next element of the program (``None`` terminates the chain).
+    No validation happens here — that is the DRC's job.
+    """
+
+    src: Optional[int]
+    dst: Optional[int]
+    word_count: int
+    size_bytes: int = 8
+    next_index: Optional[int] = None
+
+
+def program_from_descriptors(descriptors: Sequence[Descriptor]) -> list[ChainDescriptor]:
+    """Lift a validated sequential chain into the raw program form."""
+    program = []
+    last = len(descriptors) - 1
+    for index, d in enumerate(descriptors):
+        program.append(
+            ChainDescriptor(
+                src=d.src,
+                dst=d.dst,
+                word_count=d.word_count,
+                size_bytes=d.size_bytes,
+                next_index=None if index == last else index + 1,
+            )
+        )
+    return program
+
+
+def check_dma_program(
+    program: Sequence[ChainDescriptor],
+    *,
+    dock_base: int,
+    dock_window_bytes: int = 0x130,
+    fifo_depth: int = 2047,
+    bus_width_bits: int = 64,
+    start_index: int = 0,
+    report: Optional[CheckReport] = None,
+    obj: str = "dma",
+) -> CheckReport:
+    """Statically validate one descriptor program.
+
+    ``dock_window_bytes`` is the dock's full decode span (data window plus
+    control registers); memory-side address ranges must stay clear of it.
+    """
+    report = report if report is not None else CheckReport()
+    if not program:
+        return report
+
+    # -- link structure ---------------------------------------------------
+    visited: set[int] = set()
+    index: Optional[int] = start_index
+    order: list[int] = []
+    while index is not None:
+        if not 0 <= index < len(program):
+            report.add(
+                "DMA001",
+                f"descriptor link points at index {index}, outside the "
+                f"{len(program)}-element program",
+                obj=f"{obj}.chain[{order[-1] if order else start_index}]",
+                hint="terminate the chain with next_index=None",
+            )
+            break
+        if index in visited:
+            report.add(
+                "DMA001",
+                f"descriptor chain cycles back to element {index} "
+                f"(walk: {' -> '.join(map(str, order + [index]))})",
+                obj=f"{obj}.chain[{index}]",
+                hint="break the link cycle; chains must be finite",
+            )
+            break
+        visited.add(index)
+        order.append(index)
+        index = program[index].next_index
+
+    # -- per-descriptor rules --------------------------------------------
+    dock_lo, dock_hi = dock_base, dock_base + dock_window_bytes
+    for position, element_index in enumerate(order):
+        d = program[element_index]
+        where = f"{obj}.chain[{element_index}]"
+        if d.word_count <= 0:
+            report.add(
+                "DMA002",
+                f"descriptor {element_index} moves {d.word_count} words",
+                obj=where,
+                hint="drop the element or give it a positive word count",
+            )
+        if d.size_bytes not in _BEAT_SIZES:
+            report.add(
+                "DMA003",
+                f"descriptor {element_index} has unsupported beat size "
+                f"{d.size_bytes} bytes",
+                obj=where,
+            )
+        elif d.size_bytes * 8 > bus_width_bits:
+            report.add(
+                "DMA006",
+                f"descriptor {element_index} uses {d.size_bytes * 8}-bit beats on a "
+                f"{bus_width_bits}-bit bus",
+                obj=where,
+                hint="split each beat to the bus width",
+            )
+        span = max(d.word_count, 0) * d.size_bytes
+        for label, address in (("src", d.src), ("dst", d.dst)):
+            if address is None:
+                continue
+            if d.size_bytes in _BEAT_SIZES and address % d.size_bytes:
+                report.add(
+                    "DMA003",
+                    f"descriptor {element_index} {label} {address:#010x} is not "
+                    f"{d.size_bytes}-byte aligned",
+                    obj=where,
+                    hint="align buffers to the beat size",
+                )
+            if span and address < dock_hi and dock_lo < address + span:
+                report.add(
+                    "DMA004",
+                    f"descriptor {element_index} {label} range "
+                    f"[{address:#010x}, {address + span:#010x}) overlaps the dock "
+                    f"window [{dock_lo:#010x}, {dock_hi:#010x})",
+                    obj=where,
+                    hint="address the dock with src=None/dst=None, never by raw range",
+                )
+        if d.src is None and d.dst is None:
+            report.add(
+                "DMA004",
+                f"descriptor {element_index} is dock-to-dock (src and dst both None)",
+                obj=where,
+            )
+        if d.src is None and d.dst is not None and d.word_count > fifo_depth:
+            report.add(
+                "DMA005",
+                f"descriptor {element_index} drains {d.word_count} words but the "
+                f"output FIFO holds at most {fifo_depth}",
+                obj=where,
+                hint="split the drain or interleave it with the producer",
+            )
+    return report
+
+
+def check_descriptor_chain(
+    descriptors: Sequence[Descriptor],
+    *,
+    dock_base: int,
+    dock_window_bytes: int = 0x130,
+    fifo_depth: int = 2047,
+    bus_width_bits: int = 64,
+    report: Optional[CheckReport] = None,
+    obj: str = "dma",
+) -> CheckReport:
+    """Convenience wrapper: DRC a validated sequential descriptor chain."""
+    return check_dma_program(
+        program_from_descriptors(descriptors),
+        dock_base=dock_base,
+        dock_window_bytes=dock_window_bytes,
+        fifo_depth=fifo_depth,
+        bus_width_bits=bus_width_bits,
+        report=report,
+        obj=obj,
+    )

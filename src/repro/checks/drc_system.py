@@ -1,0 +1,85 @@
+"""Whole-system DRC: one call validating a built :class:`repro.core.System`.
+
+This is the cheap, on-by-default gate the CLI runs before ``demo`` and
+``transfers`` simulations (opt out with ``--no-drc``): it walks the bus
+maps, bridge windows, dock wiring and the static resource budget without
+simulating a single cycle, so a bad configuration dies in milliseconds
+instead of mid-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .diagnostics import CheckReport, register_rule
+from .drc_bus import check_bus_topology, check_master_binding
+
+register_rule(
+    "SYS001",
+    "static-design-over-budget",
+    "The static modules plus the dynamic region must fit the device; "
+    "over-budget designs cannot be placed.",
+)
+register_rule(
+    "SYS002",
+    "dock-window-too-small",
+    "The dock's decode window must cover its data window and control "
+    "registers; a short window makes registers undecodable.",
+)
+register_rule(
+    "SYS003",
+    "dock-interface-drift",
+    "The BitLinker's dock port set must equal the dock's actual connection "
+    "interface, or link-time validation checks the wrong contract.",
+)
+
+#: Byte span of the PLB Dock's register map (data window + last register).
+_DOCK_REGISTER_SPAN = 0x130
+
+
+def check_system(system, report: Optional[CheckReport] = None) -> CheckReport:
+    """Run every system-level DRC over one built system."""
+    report = report if report is not None else CheckReport()
+    name = system.name
+
+    check_bus_topology(system.plb, system.opb, system.bridge, report=report)
+
+    # Dock wiring: every dock-like attachment (object with ports) on either
+    # bus gets its window and master binding checked.
+    for bus in (system.plb, system.opb):
+        for att in bus.attachments:
+            slave = att.slave
+            if not hasattr(slave, "ports") or not hasattr(slave, "attach_kernel"):
+                continue
+            if att.range.size < _DOCK_REGISTER_SPAN:
+                report.add(
+                    "SYS002",
+                    f"dock {att.name!r} window {att.range} is smaller than the "
+                    f"register map ({_DOCK_REGISTER_SPAN:#x} bytes)",
+                    obj=f"{name}.{att.name}",
+                    hint="attach the dock with at least its register span",
+                )
+            check_master_binding(bus, slave, report=report, obj=f"{name}.{att.name}")
+
+    # Static resource budget (System.validate as a diagnostic, not a raise).
+    static = system.static_resources()
+    budget = system.device.capacity - system.region.resources
+    if not static.fits_within(budget):
+        report.add(
+            "SYS001",
+            f"static design needs {static} but only {budget} remains outside "
+            f"the dynamic region",
+            obj=name,
+            hint="shrink the region or drop static modules",
+        )
+
+    # BitLinker vs dock interface drift.
+    if tuple(system.bitlinker.dock_ports) != tuple(system.dock.ports):
+        report.add(
+            "SYS003",
+            "BitLinker was constructed with a different dock port set than the "
+            "dock currently exposes",
+            obj=f"{name}.bitlinker",
+            hint="rebuild the BitLinker from dock.ports after changing the dock",
+        )
+    return report

@@ -1,0 +1,374 @@
+"""Simulator-discipline linter for the :mod:`repro` codebase.
+
+A small flake8-style pass over ``src/repro`` built on the stdlib ``ast``
+module.  The rules encode the modelling contract documented in
+``docs/MODELING.md`` §9 (determinism) and §8 (fast-path equivalence):
+
+* **LINT001** — no wall-clock reads in the model.  Simulated time is the
+  only clock; ``time.time()`` & friends make runs irreproducible.
+* **LINT002** — no unseeded randomness.  Workload generators must thread
+  an explicit seed so every run is bit-identical.
+* **LINT003** — no bare ``assert`` for runtime invariants in library
+  code.  Asserts vanish under ``python -O``; raise
+  :class:`repro.errors.InvariantError` (or a sibling) instead.
+* **LINT004** — no float arithmetic flowing into picosecond values.
+  Timestamps are integer ps; an unrounded division assigned to a
+  ``*_ps`` name (or passed as a ``*_ps`` argument) drifts simulated time.
+* **LINT005** — fast-path discipline.  Code invoking the vectorized burst
+  primitives must be guarded through :mod:`repro.engine.fastpath` (or a
+  local predicate over it), and nothing outside that module may read the
+  ``REPRO_NO_FAST_PATH`` environment variable directly.
+
+Per-line suppression: append ``# repro: noqa RULE-ID[,RULE-ID...]`` to
+silence named rules on that line, or ``# repro: noqa`` to silence all.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .diagnostics import CheckReport, Diagnostic, Severity, register_rule
+
+register_rule(
+    "LINT000",
+    "unparseable-module",
+    "A module that does not parse cannot be linted (or imported).",
+)
+register_rule(
+    "LINT001",
+    "wall-clock-in-model",
+    "The simulator's only clock is simulated picoseconds; host-time reads "
+    "make results depend on the machine running them.",
+)
+register_rule(
+    "LINT002",
+    "unseeded-randomness",
+    "Unseeded RNGs (random.*, numpy legacy global, default_rng()) break "
+    "run-to-run determinism; thread an explicit seed.",
+)
+register_rule(
+    "LINT003",
+    "bare-assert-in-library",
+    "assert statements disappear under python -O, silently disabling the "
+    "invariant; raise repro.errors.InvariantError instead.",
+)
+register_rule(
+    "LINT004",
+    "float-into-picoseconds",
+    "Simulated time is integer ps; float arithmetic assigned into *_ps "
+    "values accumulates drift and breaks equality-based tests.",
+)
+register_rule(
+    "LINT005",
+    "unguarded-fastpath",
+    "Vectorized burst primitives must stay behind the repro.engine.fastpath "
+    "gate so traces and the reference path remain byte-identical.",
+)
+
+#: Calls that read the host clock: root module name -> attribute names.
+_WALL_CLOCK = {
+    "time": {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock",
+    },
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: Names whose presence in a function counts as a fast-path guard.
+_FASTPATH_GUARDS = {"fastpath", "fast_path_active", "_fast_ok", "fast_ok"}
+
+#: Caller-side vectorized primitives that require a guard in scope.
+_FASTPATH_PRIMITIVES = {"request_burst", "access_burst"}
+
+#: Wrappers that coerce a float expression back to an integer.
+_INT_COERCIONS = {"int", "round", "floor", "ceil", "len", "max", "min", "divmod"}
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9,\s-]+))?", re.IGNORECASE)
+
+
+def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule IDs (``None`` = all rules)."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = {r.strip().upper() for r in rules.split(",") if r.strip()}
+    return suppressions
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """Leftmost name of an attribute chain (``np.random.default_rng`` -> np)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _float_tainted(node: ast.AST) -> bool:
+    """Does evaluating ``node`` plausibly produce a non-integer float?
+
+    Conservative on purpose: true division and float literals taint; a
+    call through an int-coercing wrapper (``round``, ``int``, ...) cleans;
+    other calls are treated as clean (their return contract is theirs).
+    """
+    if isinstance(node, ast.Call):
+        # Calls are black boxes: int coercions (round, int, ...) are clean
+        # by contract, and other callees own their own return types.
+        return False
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _float_tainted(node.left) or _float_tainted(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _float_tainted(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _float_tainted(node.body) or _float_tainted(node.orelse)
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, report: CheckReport) -> None:
+        self.path = path
+        self.report = report
+        self.in_fastpath_module = path.replace("\\", "/").endswith("engine/fastpath.py")
+
+    # -- helpers ----------------------------------------------------------
+    def _flag(self, rule: str, node: ast.AST, message: str, hint: Optional[str] = None) -> None:
+        self.report.add(
+            rule, message, file=self.path, line=getattr(node, "lineno", None), hint=hint
+        )
+
+    # -- LINT003 ----------------------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._flag(
+            "LINT003",
+            node,
+            "bare assert used for a runtime invariant",
+            hint="raise repro.errors.InvariantError (asserts vanish under python -O)",
+        )
+        self.generic_visit(node)
+
+    # -- LINT001 / LINT002 / LINT005(b) ----------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            chain = _attr_chain(node.func)
+            root, attr = chain[0] if chain else None, node.func.attr
+            if root in _WALL_CLOCK and attr in _WALL_CLOCK[root]:
+                self._flag(
+                    "LINT001",
+                    node,
+                    f"wall-clock read {'.'.join(chain)}()",
+                    hint="use simulated time (Simulator.now / ClockDomain)",
+                )
+            if root == "random":
+                self._flag(
+                    "LINT002",
+                    node,
+                    f"call into the global random module ({'.'.join(chain)}())",
+                    hint="use numpy.random.default_rng(seed) with an explicit seed",
+                )
+            if len(chain) >= 3 and chain[-2] == "random" and root in {"np", "numpy"}:
+                if attr == "default_rng":
+                    if not node.args and not node.keywords:
+                        self._flag(
+                            "LINT002",
+                            node,
+                            "default_rng() without a seed",
+                            hint="pass an explicit seed for reproducible workloads",
+                        )
+                else:
+                    self._flag(
+                        "LINT002",
+                        node,
+                        f"legacy global numpy RNG ({'.'.join(chain)}())",
+                        hint="use numpy.random.default_rng(seed)",
+                    )
+        # LINT004 on keyword arguments named *_ps.
+        for keyword in node.keywords:
+            if keyword.arg and keyword.arg.endswith("_ps") and _float_tainted(keyword.value):
+                self._flag(
+                    "LINT004",
+                    node,
+                    f"float-valued expression passed as {keyword.arg}=",
+                    hint="wrap in round() — simulated time is integer picoseconds",
+                )
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            node.value == "REPRO_NO_FAST_PATH"  # repro: noqa LINT005
+            and not self.in_fastpath_module
+        ):
+            self._flag(
+                "LINT005",
+                node,
+                "direct reference to the REPRO_NO_FAST_PATH environment variable",
+                hint="go through repro.engine.fastpath (enabled()/force()/disabled())",
+            )
+
+    # -- LINT004 on assignments ------------------------------------------
+    def _check_ps_target(self, target: ast.AST, value: ast.AST) -> None:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name and name.endswith("_ps") and _float_tainted(value):
+            self._flag(
+                "LINT004",
+                value,
+                f"float arithmetic assigned to picosecond value {name!r}",
+                hint="wrap in round() — simulated time is integer picoseconds",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_ps_target(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_ps_target(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        name = None
+        if isinstance(node.target, ast.Name):
+            name = node.target.id
+        elif isinstance(node.target, ast.Attribute):
+            name = node.target.attr
+        if name and name.endswith("_ps") and (
+            isinstance(node.op, ast.Div) or _float_tainted(node.value)
+        ):
+            self._flag(
+                "LINT004",
+                node,
+                f"float arithmetic folded into picosecond value {name!r}",
+                hint="wrap in round() — simulated time is integer picoseconds",
+            )
+        self.generic_visit(node)
+
+    # -- LINT005(a): guard discipline per function ------------------------
+    def _visit_function(self, node) -> None:
+        calls_primitive = None
+        references_guard = False
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) and isinstance(child.func, ast.Attribute):
+                if child.func.attr in _FASTPATH_PRIMITIVES:
+                    calls_primitive = calls_primitive or child
+            if isinstance(child, ast.Attribute) and child.attr in _FASTPATH_GUARDS:
+                references_guard = True
+            if isinstance(child, ast.Name) and child.id in _FASTPATH_GUARDS:
+                references_guard = True
+        if calls_primitive is not None and not references_guard:
+            self._flag(
+                "LINT005",
+                calls_primitive,
+                f"function {node.name!r} invokes a vectorized burst primitive "
+                "without a fast-path guard in scope",
+                hint="gate the call on Bus.fast_path_active() / repro.engine.fastpath",
+            )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
+    """Lint one module's source; returns the surviving diagnostics."""
+    report = CheckReport()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        report.add(
+            "LINT000",
+            f"could not parse: {err}",
+            file=path,
+            line=err.lineno,
+            severity=Severity.ERROR,
+        )
+        return report.diagnostics
+    _Visitor(path, report).visit(tree)
+    suppressions = _parse_suppressions(source)
+    _unsuppressed = object()
+    kept: List[Diagnostic] = []
+    for diag in report.diagnostics:
+        rules = suppressions.get(diag.line or -1, _unsuppressed)
+        if rules is None:  # blanket ``# repro: noqa``
+            continue
+        if isinstance(rules, set) and diag.rule.upper() in rules:
+            continue
+        kept.append(diag)
+    return kept
+
+
+def lint_file(path: Path, display_root: Optional[Path] = None) -> List[Diagnostic]:
+    source = path.read_text(encoding="utf-8")
+    display = str(path)
+    if display_root is not None:
+        try:
+            display = str(path.relative_to(display_root))
+        except ValueError:
+            pass
+    return lint_source(source, display)
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    return sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+
+
+def lint_paths(
+    paths: Sequence[Path], display_root: Optional[Path] = None, report: Optional[CheckReport] = None
+) -> CheckReport:
+    """Lint files and/or directory trees into one report."""
+    report = report if report is not None else CheckReport()
+    for path in paths:
+        files = iter_python_files(path) if path.is_dir() else [path]
+        for file_path in files:
+            report.diagnostics.extend(lint_file(file_path, display_root=display_root))
+    return report
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (self-lint target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_package(report: Optional[CheckReport] = None) -> CheckReport:
+    """Self-lint the whole :mod:`repro` package."""
+    root = package_root()
+    return lint_paths([root], display_root=root.parent, report=report)

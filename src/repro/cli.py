@@ -9,6 +9,11 @@ writing a script::
     python -m repro transfers --system 64   # tables 2/7/8 in seconds
     python -m repro demo                    # reconfigure + accelerate a task
     python -m repro trace --words 64        # bus-level transaction trace
+    python -m repro check                   # DRC + self-lint (docs/CHECKS.md)
+
+``demo`` and ``transfers`` run the cheap system DRC before simulating
+(disable with ``--no-drc``); a configuration that fails design rules dies
+in milliseconds instead of mid-benchmark.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .checks import cli as checks_cli
 from .core import (
     TransferBench,
     build_system32,
@@ -39,6 +45,23 @@ def _build(which: str):
         system, _ = build_system64_dual()
         return system
     raise SystemExit(f"unknown system {which!r} (use 32, 64 or dual)")
+
+
+def _predrc(system, args: argparse.Namespace) -> None:
+    """Run the system DRC before a simulation command (``--no-drc`` skips).
+
+    Error diagnostics abort with exit status 2; warnings are printed to
+    stderr and the run continues.
+    """
+    if getattr(args, "no_drc", False):
+        return
+    from .checks import check_system
+
+    report = check_system(system)
+    for diag in report.sorted():
+        print(diag.render(), file=sys.stderr)
+    if report.has_errors:
+        raise SystemExit(2)
 
 
 def cmd_devices(args: argparse.Namespace) -> int:
@@ -97,6 +120,7 @@ def cmd_floorplan(args: argparse.Namespace) -> int:
 
 def cmd_transfers(args: argparse.Namespace) -> int:
     system = _build(args.system)
+    _predrc(system, args)
     bench = TransferBench(system)
     n = args.words
     rows = [
@@ -129,6 +153,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     from .workloads import grayscale_image
 
     system = _build(args.system)
+    _predrc(system, args)
     manager = ReconfigManager(system)
     manager.register(BrightnessKernel(40))
     result = manager.load("brightness", verify=args.verify)
@@ -140,7 +165,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
     image = grayscale_image(64, 64, seed=1)
     hw = HwBrightnessPio().run(system, image)
     sw = SwBrightness(40).run(system, image)
-    assert np.array_equal(hw.result, sw.result)
+    if not np.array_equal(hw.result, sw.result):
+        from .errors import CheckError
+
+        raise CheckError("demo: hardware result diverges from the software reference")
     print(f"software {sw.elapsed_us:9.1f} us | hardware {hw.elapsed_us:9.1f} us | "
           f"speedup {sw.elapsed_ps / hw.elapsed_ps:.2f}x")
     return 0
@@ -203,12 +231,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr = sub.add_parser("transfers", help="measure raw transfer times")
     p_tr.add_argument("--system", default="32", choices=["32", "64", "dual"])
     p_tr.add_argument("--words", type=int, default=2048)
+    p_tr.add_argument("--no-drc", action="store_true", help="skip the pre-run system DRC")
     p_tr.set_defaults(func=cmd_transfers)
 
     p_demo = sub.add_parser("demo", help="reconfigure and accelerate a task")
     p_demo.add_argument("--system", default="32", choices=["32", "64", "dual"])
     p_demo.add_argument("--verify", action="store_true", help="readback-verify the load")
+    p_demo.add_argument("--no-drc", action="store_true", help="skip the pre-run system DRC")
     p_demo.set_defaults(func=cmd_demo)
+
+    p_check = sub.add_parser(
+        "check", help="static analysis: system/bitstream DRC + codebase self-lint"
+    )
+    checks_cli.add_arguments(p_check)
+    p_check.set_defaults(func=checks_cli.run)
 
     p_assess = sub.add_parser(
         "assess", help="lower-bound feasibility check for a hardware candidate"

@@ -20,7 +20,7 @@ from ..bus.bus import Bus
 from ..bus.transaction import Op, Transaction
 from ..engine.events import Process, Simulator
 from ..engine.stats import StatsGroup
-from ..errors import TransferError
+from ..errors import InvariantError, TransferError
 
 
 @dataclass(frozen=True)
@@ -165,7 +165,8 @@ class SgDmaEngine:
             return write.done_ps
         remaining = d.word_count
         address = d.src
-        assert address is not None
+        if address is None:
+            raise InvariantError(f"{self.name}: memory-to-dock descriptor without a source")
         while remaining:
             chunk = min(remaining, self._chunk())
             read = self.bus.request(
@@ -215,7 +216,8 @@ class SgDmaEngine:
             return write.done_ps
         remaining = d.word_count
         address = d.dst
-        assert address is not None
+        if address is None:
+            raise InvariantError(f"{self.name}: fifo-to-memory descriptor without a destination")
         while remaining:
             chunk = min(remaining, self._chunk())
             read = self.bus.request(
@@ -253,7 +255,8 @@ class SgDmaEngine:
             return write.done_ps
         remaining = d.word_count
         src, dst = d.src, d.dst
-        assert src is not None and dst is not None
+        if src is None or dst is None:
+            raise InvariantError(f"{self.name}: memory-to-memory descriptor missing an address")
         while remaining:
             chunk = min(remaining, self._chunk())
             read = self.bus.request(

@@ -12,6 +12,18 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class CheckError(ReproError):
+    """A static check (DRC/lint) or a checked equivalence failed."""
+
+
+class InvariantError(ReproError):
+    """An internal invariant believed unreachable was violated.
+
+    Used instead of bare ``assert`` in library code so invariants survive
+    ``python -O`` (enforced by the LINT003 rule of :mod:`repro.checks`).
+    """
+
+
 class SimulationError(ReproError):
     """Errors raised by the discrete-event simulation engine."""
 

@@ -1,0 +1,256 @@
+"""Per-rule fixtures for the simulator-discipline linter (repro.checks.lint).
+
+Each LINT rule gets a minimal snippet that fires it and a near-identical
+snippet that does not, plus suppression-comment semantics and the
+self-lint gate: the shipped package must lint clean.
+"""
+
+import textwrap
+
+from repro.checks import lint_package, lint_source
+from repro.checks.lint import package_root
+
+
+def ids(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def lint(snippet, path="repro/somemodule.py"):
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+# -- LINT000: unparseable module ---------------------------------------------
+
+def test_lint000_syntax_error():
+    found = lint("def broken(:\n")
+    assert ids(found) == {"LINT000"}
+
+
+# -- LINT001: wall-clock reads ----------------------------------------------
+
+def test_lint001_time_time():
+    found = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert ids(found) == {"LINT001"}
+
+
+def test_lint001_perf_counter_and_datetime_now():
+    found = lint(
+        """
+        import time, datetime
+
+        def stamps():
+            return time.perf_counter(), datetime.datetime.now()
+        """
+    )
+    assert len([d for d in found if d.rule == "LINT001"]) == 2
+
+
+def test_lint001_simulated_time_is_clean():
+    found = lint(
+        """
+        def advance(sim):
+            return sim.now + 5
+        """
+    )
+    assert found == []
+
+
+# -- LINT002: unseeded randomness -------------------------------------------
+
+def test_lint002_global_random_module():
+    found = lint(
+        """
+        import random
+
+        def roll():
+            return random.randint(0, 7)
+        """
+    )
+    assert ids(found) == {"LINT002"}
+
+
+def test_lint002_default_rng_without_seed():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen():
+            return np.random.default_rng()
+        """
+    )
+    assert ids(found) == {"LINT002"}
+
+
+def test_lint002_legacy_numpy_global():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen():
+            return np.random.randint(0, 255)
+        """
+    )
+    assert ids(found) == {"LINT002"}
+
+
+def test_lint002_seeded_rng_is_clean():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen(seed):
+            return np.random.default_rng(seed)
+        """
+    )
+    assert found == []
+
+
+# -- LINT003: bare assert in library code -----------------------------------
+
+def test_lint003_bare_assert():
+    found = lint(
+        """
+        def f(x):
+            assert x > 0
+            return x
+        """
+    )
+    assert ids(found) == {"LINT003"}
+
+
+def test_lint003_explicit_raise_is_clean():
+    found = lint(
+        """
+        def f(x):
+            if x <= 0:
+                raise ValueError("x must be positive")
+            return x
+        """
+    )
+    assert found == []
+
+
+# -- LINT004: float arithmetic into *_ps values -----------------------------
+
+def test_lint004_division_assigned_to_ps_name():
+    found = lint("delay_ps = cycles / 2\n")
+    assert ids(found) == {"LINT004"}
+
+
+def test_lint004_augmented_division():
+    found = lint(
+        """
+        def tick(self):
+            self.busy_until_ps /= 2
+        """
+    )
+    assert ids(found) == {"LINT004"}
+
+
+def test_lint004_float_keyword_argument():
+    found = lint(
+        """
+        def go(sim, n):
+            sim.schedule(when_ps=n / 3)
+        """
+    )
+    assert ids(found) == {"LINT004"}
+
+
+def test_lint004_rounded_division_is_clean():
+    found = lint("delay_ps = round(cycles / 2)\n")
+    assert found == []
+
+
+def test_lint004_integer_arithmetic_is_clean():
+    found = lint("delay_ps = cycles * period_ps + 3\n")
+    assert found == []
+
+
+# -- LINT005: fast-path discipline ------------------------------------------
+
+def test_lint005_unguarded_burst_primitive():
+    found = lint(
+        """
+        def move(self, cursor, d):
+            return self.bus.request_burst(cursor, d.src, d.word_count)
+        """
+    )
+    assert ids(found) == {"LINT005"}
+
+
+def test_lint005_guarded_burst_is_clean():
+    found = lint(
+        """
+        def move(self, cursor, d):
+            if self.bus.fast_path_active():
+                return self.bus.request_burst(cursor, d.src, d.word_count)
+            return self.slow(cursor, d)
+        """
+    )
+    assert found == []
+
+
+def test_lint005_env_var_literal_outside_fastpath_module():
+    found = lint('import os\nflag = os.environ.get("REPRO_NO_FAST_PATH")\n')
+    assert ids(found) == {"LINT005"}
+
+
+def test_lint005_env_var_literal_inside_fastpath_module_is_clean():
+    found = lint(
+        'import os\nflag = os.environ.get("REPRO_NO_FAST_PATH")\n',
+        path="repro/engine/fastpath.py",
+    )
+    assert found == []
+
+
+# -- suppression comments ----------------------------------------------------
+
+def test_noqa_named_rule_suppresses():
+    found = lint("def f(x):\n    assert x  # repro: noqa LINT003\n")
+    assert found == []
+
+
+def test_noqa_blanket_suppresses_all():
+    found = lint("def f(x):\n    assert x  # repro: noqa\n")
+    assert found == []
+
+
+def test_noqa_other_rule_does_not_suppress():
+    found = lint("def f(x):\n    assert x  # repro: noqa LINT001\n")
+    assert ids(found) == {"LINT003"}
+
+
+def test_noqa_multiple_rules():
+    found = lint("def f(x):\n    assert x  # repro: noqa LINT001, LINT003\n")
+    assert found == []
+
+
+# -- diagnostics carry locations ---------------------------------------------
+
+def test_diagnostic_location_and_hint():
+    found = lint("def f(x):\n    assert x\n", path="repro/lib.py")
+    (diag,) = found
+    assert diag.file == "repro/lib.py"
+    assert diag.line == 2
+    assert diag.hint
+    assert "repro/lib.py:2" in diag.render()
+
+
+# -- the self-lint gate ------------------------------------------------------
+
+def test_shipped_package_lints_clean():
+    report = lint_package()
+    assert report.diagnostics == [], report.format_text()
+
+
+def test_package_root_points_at_repro():
+    assert package_root().name == "repro"
+    assert (package_root() / "checks" / "lint.py").exists()
