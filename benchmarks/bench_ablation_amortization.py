@@ -4,50 +4,19 @@ The paper's opening motivation is time-sharing the fabric between
 mutually exclusive tasks; every swap costs a full partial configuration.
 This bench measures, per task and system, how many runs amortise one
 swap — the batch size below which software remains the right choice.
+Thin wrapper around the ``ablation_amortization`` scenario.
 """
 
-from repro.analysis import break_even_runs, measure_episode
-from repro.core.apps import HwBrightnessPio, HwJenkinsHash, HwPatternMatch
-from repro.reporting import format_table
-from repro.sw import SwBrightness, SwJenkinsHash, SwPatternMatch
-from repro.workloads import binary_image, grayscale_image, random_key
+from repro.scenarios import run_scenario
 
 
-def run(system, manager, pattern):
-    image = binary_image(16, 64, seed=6)
-    gray = grayscale_image(64, 64, seed=6)
-    key = random_key(4096, seed=6)
-    rows = []
-    for kernel, sw_task, hw_driver, args in (
-        ("patmatch", SwPatternMatch(pattern), HwPatternMatch(), (image,)),
-        ("brightness", SwBrightness(48), HwBrightnessPio(), (gray,)),
-        ("lookup2", SwJenkinsHash(), HwJenkinsHash(), (key,)),
-    ):
-        costs = measure_episode(system, manager, kernel, sw_task, hw_driver, *args)
-        runs = break_even_runs(costs["reconfig_ps"], costs["sw_run_ps"], costs["hw_run_ps"])
-        rows.append(
-            [
-                kernel,
-                costs["reconfig_ps"] / 1e9,
-                costs["sw_run_ps"] / 1e6,
-                costs["hw_run_ps"] / 1e6,
-                "never" if runs == float("inf") else f"{runs:.1f}",
-            ]
-        )
-    return rows
-
-
-def test_ablation_amortization(benchmark, rig32, pattern, save_table):
-    system, manager = rig32
-    rows = benchmark.pedantic(lambda: run(system, manager, pattern), rounds=1, iterations=1)
-    text = format_table(
-        "Ablation: runs needed to amortise one reconfiguration (32-bit system)",
-        ["task", "reconfig (ms)", "sw/run (us)", "hw/run (us)", "break-even runs"],
-        rows,
+def test_ablation_amortization(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_amortization"), rounds=1, iterations=1
     )
-    save_table("ablation_amortization", text)
+    save_table("ablation_amortization", result.table_text())
 
-    values = {row[0]: row[4] for row in rows}
+    values = {row[0]: row[4] for row in result.rows}
     # Pattern matching amortises in very few runs; the hash, with its ~1x
     # speedup, effectively never does.
     assert float(values["patmatch"]) < 15

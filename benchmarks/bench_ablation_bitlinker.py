@@ -4,40 +4,21 @@ BitLinker emits *complete* configurations (correct regardless of prior
 state) "with the side effect of increasing the configuration time".  This
 bench quantifies that: load a kernel with a complete bitstream, then load
 the next with complete vs differential streams and compare sizes/times.
+Thin wrapper around the ``ablation_bitlinker`` scenario.
 """
 
-from repro.reporting import format_table
+from repro.scenarios import run_scenario
 
 
-def run(manager):
-    rows = []
-    first = manager.load("brightness")
-    rows.append(["brightness (complete, cold)", first.frame_count, first.word_count,
-                 first.elapsed_ps / 1e9])
-    complete = manager.load("lookup2")
-    rows.append(["lookup2 (complete)", complete.frame_count, complete.word_count,
-                 complete.elapsed_ps / 1e9])
-    manager.load("brightness")  # reset state
-    differential = manager.load("lookup2", differential=True)
-    rows.append(["lookup2 (differential)", differential.frame_count,
-                 differential.word_count, differential.elapsed_ps / 1e9])
-    return rows, complete, differential
-
-
-def test_ablation_bitlinker_complete_vs_differential(benchmark, rig32, save_table):
-    _, manager = rig32
-    rows, complete, differential = benchmark.pedantic(
-        lambda: run(manager), rounds=1, iterations=1
+def test_ablation_bitlinker_complete_vs_differential(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_bitlinker"), rounds=1, iterations=1
     )
-    text = format_table(
-        "Ablation: complete vs differential partial bitstreams (32-bit system)",
-        ["load", "frames", "words", "time (ms)"],
-        rows,
-    )
-    save_table("ablation_bitlinker", text)
+    save_table("ablation_bitlinker", result.table_text())
 
     # Complete streams are state-independent but bigger and slower to load.
-    assert differential.word_count < complete.word_count
-    assert differential.elapsed_ps < complete.elapsed_ps
-    assert complete.kind == "partial-complete"
-    assert differential.kind == "partial-differential"
+    h = result.headline
+    assert h["differential_words"] < h["complete_words"]
+    assert h["differential_ps"] < h["complete_ps"]
+    assert h["complete_kind"] == "partial-complete"
+    assert h["differential_kind"] == "partial-differential"

@@ -4,45 +4,23 @@ The external SelectMAP port moves bytes an order of magnitude faster than
 the OPB HWICAP, yet the paper's systems never use it at run time: a full
 reload destroys the CPU, memory and I/O state.  The partial path trades
 raw bandwidth for keeping the system alive — the whole premise quantified.
+Thin wrapper around the ``ablation_boot`` scenario.
 """
 
-from repro.core.boot import compare_reconfiguration
-from repro.reporting import format_table
+from repro.scenarios import run_scenario
 
 
-def test_ablation_boot_vs_partial(benchmark, rig32, save_table):
-    system, manager = rig32
-    comparison = benchmark.pedantic(
-        lambda: compare_reconfiguration(system, manager, "brightness"),
-        rounds=1,
-        iterations=1,
+def test_ablation_boot_vs_partial(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_boot"), rounds=1, iterations=1
     )
-    rows = [
-        [
-            "full reload (SelectMAP)",
-            comparison.boot.byte_size / 1024,
-            comparison.boot.load_ms,
-            "destroyed",
-        ],
-        [
-            "partial (OPB HWICAP)",
-            comparison.partial_byte_size / 1024,
-            comparison.partial_load_ps / 1e9,
-            "keeps running",
-        ],
-    ]
-    text = format_table(
-        "Ablation: full boot-time reload vs run-time partial reconfiguration "
-        "(32-bit system)",
-        ["path", "KiB", "load (ms)", "system state"],
-        rows,
-    )
-    save_table("ablation_boot", text + "\n\n" + comparison.summary())
+    save_table("ablation_boot", result.table_text())
 
+    h = result.headline
     # The external port is much faster per byte...
-    assert comparison.bandwidth_ratio > 3
+    assert h["bandwidth_ratio"] > 3
     # ...and the full image is bigger than the partial one...
-    assert comparison.boot.byte_size > comparison.partial_byte_size
+    assert h["boot_bytes"] > h["partial_bytes"]
     # ...but only the partial path leaves the system running.
-    assert comparison.partial_keeps_system_alive
-    assert comparison.boot.destroys_system_state
+    assert h["partial_keeps_system_alive"]
+    assert h["boot_destroys_system_state"]

@@ -3,49 +3,19 @@
 Compares a read/write against the same SRAM controller reached directly on
 the OPB vs through the bridge from the PLB — isolating the third factor of
 the paper's 4-6x transfer improvement (beyond the x2 bus and x1.5 CPU
-clocks).
+clocks).  Thin wrapper around the ``ablation_bridge`` scenario.
 """
 
-from repro.bus.bridge import PlbOpbBridge
-from repro.bus.opb import make_opb
-from repro.bus.plb import make_plb
-from repro.bus.transaction import Op, Transaction
-from repro.engine.clock import ClockDomain, mhz
-from repro.mem.controllers import SramController
-from repro.mem.memory import MemoryArray
-from repro.reporting import format_table
-
-
-def measure():
-    clock = ClockDomain("bus", mhz(50))
-    plb = make_plb(clock)
-    opb = make_opb(clock)
-    memory = MemoryArray(65536)
-    opb.attach(SramController(memory, 0, "sram"), 0, 65536, name="sram")
-    bridge = PlbOpbBridge(plb, opb)
-    plb.attach(bridge, 0, 65536, name="bridge", posted_writes=True)
-
-    def latency(bus, op):
-        start = bus.clock.next_edge(max(0, bus.busy_until))
-        completion = bus.request(start, Transaction(op, 0x100, data=1 if op is Op.WRITE else None))
-        return (completion.master_free_ps - start) / 1000.0
-
-    return {
-        "direct OPB read": latency(opb, Op.READ),
-        "bridged read": latency(plb, Op.READ),
-        "direct OPB write": latency(opb, Op.WRITE),
-        "bridged write (posted)": latency(plb, Op.WRITE),
-    }
+from repro.scenarios import run_scenario
 
 
 def test_ablation_bridge_latency(benchmark, save_table):
-    results = benchmark.pedantic(measure, rounds=1, iterations=1)
-    text = format_table(
-        "Ablation: PLB-OPB bridge cost (50 MHz buses, ns per access)",
-        ["path", "latency (ns)"],
-        [[k, v] for k, v in results.items()],
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_bridge"), rounds=1, iterations=1
     )
-    save_table("ablation_bridge", text)
+    save_table("ablation_bridge", result.table_text())
+
+    results = result.headline
     # Reads pay the full store-and-forward round trip ...
     assert results["bridged read"] > results["direct OPB read"] * 1.5
     # ... while the bridge's write buffer hides the crossing from the master

@@ -4,47 +4,21 @@ The scatter-gather engine moves data in ≤16-beat bursts; each burst pays
 arbitration + address once.  Sweeping the maximum burst length shows why
 CoreConnect bursts matter: at length 1 every 64-bit word pays full
 per-transaction overhead and the DMA advantage largely evaporates.
+Thin wrapper around the ``ablation_burst`` scenario.
 """
 
-from repro.bus.plb import make_plb
-from repro.dock.dma import Descriptor, SgDmaEngine
-from repro.dock.plb_dock import PlbDock
-from repro.engine.clock import ClockDomain, mhz
-from repro.kernels.streams import SinkKernel
-from repro.mem.controllers import DdrController
-from repro.mem.memory import MemoryArray
-from repro.reporting import format_table
+from repro.scenarios import run_scenario
 
 BURSTS = (1, 2, 4, 8, 16)
-WORDS = 4096
-DOCK_BASE = 0x8000_0000
-
-
-def run_burst(max_beats: int) -> float:
-    plb = make_plb(ClockDomain("bus", mhz(100)))
-    plb.max_burst_beats = max_beats
-    memory = MemoryArray(1 << 20)
-    plb.attach(DdrController(memory, 0, "ddr"), 0, 1 << 20, name="ddr")
-    dock = PlbDock(DOCK_BASE)
-    plb.attach(dock, DOCK_BASE, 0x1_0000, name="dock", posted_writes=True)
-    dock.connect_bus(plb)
-    dock.attach_kernel(SinkKernel())
-    done = dock.dma.run_chain(0, [Descriptor(src=0, dst=None, word_count=WORDS)])
-    return done / WORDS / 1000.0  # ns per 64-bit word
 
 
 def test_ablation_burst_length(benchmark, save_table):
-    rows = benchmark.pedantic(
-        lambda: [(b, run_burst(b)) for b in BURSTS], rounds=1, iterations=1
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_burst"), rounds=1, iterations=1
     )
-    text = format_table(
-        f"Ablation: PLB max burst length vs DMA cost ({WORDS} x 64-bit words)",
-        ["max burst (beats)", "ns per word"],
-        rows,
-    )
-    save_table("ablation_burst", text)
+    save_table("ablation_burst", result.table_text())
 
-    times = dict(rows)
+    times = {burst: ns for burst, ns in result.rows}
     # Monotone improvement with burst length, and >2x from 1 to 16.
     ordered = [times[b] for b in BURSTS]
     assert all(a >= b for a, b in zip(ordered, ordered[1:]))

@@ -2,35 +2,19 @@
 
 "The circuits mentioned in the next sections use LUT-based bus macros when
 necessary, since they consume less area."  This bench tabulates the
-per-side fabric cost of both kinds across channel widths.
+per-side fabric cost of both kinds across channel widths.  Thin wrapper
+around the ``ablation_busmacro`` scenario.
 """
 
-from repro.bitstream.busmacro import BusMacro, MacroKind
-from repro.reporting import format_table
-
-WIDTHS = (4, 8, 16, 32, 64)
-
-
-def run():
-    rows = []
-    for width in WIDTHS:
-        lut = BusMacro(f"lut{width}", MacroKind.LUT, width=width)
-        tri = BusMacro(f"tri{width}", MacroKind.TRISTATE, width=width)
-        lut_cost = lut.resource_cost()
-        tri_cost = tri.resource_cost()
-        rows.append([width, lut_cost.slices, tri_cost.slices, tri_cost.tbufs,
-                     tri_cost.slices / lut_cost.slices])
-    return rows
+from repro.scenarios import run_scenario
 
 
 def test_ablation_bus_macro_kinds(benchmark, save_table):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = format_table(
-        "Ablation: bus-macro area per side (LUT vs tristate)",
-        ["signals", "LUT slices", "tristate slices", "TBUFs", "area ratio"],
-        rows,
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_busmacro"), rounds=1, iterations=1
     )
-    save_table("ablation_busmacro", text)
-    for width, lut_slices, tri_slices, tbufs, ratio in rows:
+    save_table("ablation_busmacro", result.table_text())
+
+    for width, lut_slices, tri_slices, tbufs, ratio in result.rows:
         assert lut_slices < tri_slices  # the paper's reason for LUT macros
         assert tbufs == 2 * width

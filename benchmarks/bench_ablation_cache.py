@@ -3,54 +3,18 @@
 The 32-bit system's software numbers are dominated by uncached OPB/bridge
 accesses; the 64-bit system's cacheable DDR is most of its software win.
 This bench runs the same software task on the 64-bit platform with the
-cache model enabled vs a facade that forces the uncached path.
+cache model enabled vs a facade that forces the uncached path.  Thin
+wrapper around the ``ablation_cache`` scenario.
 """
 
-from dataclasses import dataclass
-
-from repro.mem.memory import MemoryArray
-from repro.reporting import format_table
-from repro.sw import SwBrightness, SwJenkinsHash
-from repro.workloads import grayscale_image, random_key
+from repro.scenarios import run_scenario
 
 
-@dataclass
-class UncachedFacade:
-    """System facade forcing the uncached access path."""
-
-    cpu: object
-    ext_mem: MemoryArray
-    ext_mem_base: int
-    ext_mem_cacheable: bool = False
-
-
-def run(system):
-    image = grayscale_image(48, 48, seed=9)
-    key = random_key(4096, seed=9)
-    rows = []
-
-    cached_b = SwBrightness(30).run(system, image).elapsed_ps
-    cached_h = SwJenkinsHash().run(system, key).elapsed_ps
-
-    uncached = UncachedFacade(
-        cpu=system.cpu, ext_mem=system.ext_mem, ext_mem_base=system.ext_mem_base
+def test_ablation_cacheable_memory(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_cache"), rounds=1, iterations=1
     )
-    uncached_b = SwBrightness(30).run(uncached, image).elapsed_ps
-    uncached_h = SwJenkinsHash().run(uncached, key).elapsed_ps
+    save_table("ablation_cache", result.table_text())
 
-    rows.append(["brightness 48x48", cached_b / 1e6, uncached_b / 1e6, uncached_b / cached_b])
-    rows.append(["lookup2 4 KiB", cached_h / 1e6, uncached_h / 1e6, uncached_h / cached_h])
-    return rows
-
-
-def test_ablation_cacheable_memory(benchmark, rig64, save_table):
-    system, _ = rig64
-    rows = benchmark.pedantic(lambda: run(system), rounds=1, iterations=1)
-    text = format_table(
-        "Ablation: cacheable DDR vs uncached access (64-bit system, software tasks)",
-        ["task", "cached (us)", "uncached (us)", "slowdown"],
-        rows,
-    )
-    save_table("ablation_cache", text)
-    for row in rows:
+    for row in result.rows:
         assert row[-1] > 1.5  # uncached software pays dearly

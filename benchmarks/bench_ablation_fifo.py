@@ -3,55 +3,20 @@
 The paper's FIFO stores 2047 64-bit values.  Sweeping the depth shows the
 trade-off: small FIFOs force frequent write-stream pauses (more DMA setup
 per block), while beyond a few hundred entries the per-word time flattens
-— the 2047 choice sits comfortably on the plateau.
+— the 2047 choice sits comfortably on the plateau.  Thin wrapper around
+the ``ablation_fifo`` scenario.
 """
 
-from repro.bus.plb import make_plb
-from repro.dock.plb_dock import PlbDock
-from repro.engine.clock import ClockDomain, mhz
-from repro.kernels.streams import LoopbackKernel
-from repro.mem.controllers import DdrController
-from repro.mem.memory import MemoryArray
-from repro.reporting import format_table
-
-DEPTHS = (16, 64, 256, 1024, 2047, 4096)
-WORDS = 8192
-DOCK_BASE = 0x8000_0000
-
-
-def run_depth(depth: int) -> float:
-    plb = make_plb(ClockDomain("bus", mhz(100)))
-    memory = MemoryArray(1 << 20)
-    plb.attach(DdrController(memory, 0, "ddr"), 0, 1 << 20, name="ddr")
-    dock = PlbDock(DOCK_BASE, fifo_depth=depth)
-    plb.attach(dock, DOCK_BASE, 0x1_0000, name="dock", posted_writes=True)
-    dock.connect_bus(plb)
-    dock.attach_kernel(LoopbackKernel())
-    cursor = 0
-    remaining = WORDS
-    src, dst = 0x0, 0x8_0000
-    while remaining:
-        chunk = min(remaining, depth)
-        cursor = dock.dma_write_block(cursor, src, chunk)
-        cursor, drained = dock.dma_drain_fifo(cursor, dst)
-        src += chunk * 8
-        dst += drained * 8
-        remaining -= chunk
-    return cursor / WORDS / 1000.0  # ns per 64-bit word round trip
+from repro.scenarios import run_scenario
 
 
 def test_ablation_fifo_depth(benchmark, save_table):
-    results = benchmark.pedantic(
-        lambda: [(d, run_depth(d)) for d in DEPTHS], rounds=1, iterations=1
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_fifo"), rounds=1, iterations=1
     )
-    text = format_table(
-        "Ablation: output-FIFO depth vs block-interleaved DMA time "
-        f"({WORDS} x 64-bit words)",
-        ["FIFO depth", "ns per word (out + back)"],
-        results,
-    )
-    save_table("ablation_fifo", text)
-    times = dict(results)
+    save_table("ablation_fifo", result.table_text())
+
+    times = {depth: ns for depth, ns in result.rows}
     assert times[16] > times[2047]  # tiny FIFOs pay per-block overhead
     # The paper's 2047 sits on the plateau: quadrupling it gains <2%.
     assert abs(times[4096] - times[2047]) / times[2047] < 0.02

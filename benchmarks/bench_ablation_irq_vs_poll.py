@@ -4,44 +4,24 @@
 transfers, an interrupt generator was added to the dock."  With interrupts
 the CPU overlaps useful work with the transfer (the overlap-efficiency
 column); with polling it spends the whole transfer spinning on the status
-register and gets nothing else done.
+register and gets nothing else done.  Thin wrapper around the
+``ablation_irq_vs_poll`` scenario.
 """
 
-from repro.core.transfer import TransferBench
-from repro.reporting import format_table
-
-WORDS = 4096
-COMPUTE_CYCLES = 25_000
+from repro.scenarios import run_scenario
 
 
-def run(system):
-    bench = TransferBench(system)
-    irq = bench.dma_write_overlapped(WORDS, compute_cycles=COMPUTE_CYCLES)
-    polled = bench.dma_write_polled(WORDS)
-    return irq, polled
-
-
-def test_ablation_interrupt_vs_polling(benchmark, rig64, save_table):
-    system, _ = rig64
-    irq, polled = benchmark.pedantic(lambda: run(system), rounds=1, iterations=1)
-
-    rows = [
-        ["interrupt + overlapped compute", irq.total_ps / 1e6, irq.compute_ps / 1e6,
-         f"{irq.overlap_efficiency:.2f}", irq.polls],
-        ["polled status register", polled.total_ps / 1e6, polled.compute_ps / 1e6,
-         "-", polled.polls],
-    ]
-    text = format_table(
-        f"Ablation: DMA completion handling ({WORDS} x 64-bit words)",
-        ["mode", "total (us)", "useful CPU work (us)", "overlap efficiency", "polls"],
-        rows,
+def test_ablation_interrupt_vs_polling(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_irq_vs_poll"), rounds=1, iterations=1
     )
-    save_table("ablation_irq_vs_poll", text)
+    save_table("ablation_irq_vs_poll", result.table_text())
 
+    h = result.headline
     # Interrupt mode hides the CPU work almost entirely behind the DMA.
-    assert irq.overlap_efficiency > 0.9
-    assert irq.compute_ps > 0
+    assert h["overlap_efficiency"] > 0.9
+    assert h["irq_compute_ps"] > 0
     # Polling gets no useful work done during the transfer.
-    assert polled.compute_ps == 0
+    assert h["polled_compute_ps"] == 0
     # Both finish in about the DMA time (the transfer itself is unchanged).
-    assert abs(polled.dma_ps - irq.dma_ps) / irq.dma_ps < 0.1
+    assert abs(h["polled_dma_ps"] - h["irq_dma_ps"]) / h["irq_dma_ps"] < 0.1

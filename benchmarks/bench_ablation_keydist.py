@@ -4,50 +4,20 @@ lookup2 was published as a hash-table function, and hash tables see mostly
 short keys.  Every hardware invocation pays fixed overhead (LENGTH write,
 result read) on top of the per-word stream, so the marginal Table-4
 speedup collapses further on a realistic Zipf key mix — the offload is
-only defensible for long-key workloads (checksumming, dedup).
+only defensible for long-key workloads (checksumming, dedup).  Thin
+wrapper around the ``ablation_keydist`` scenario.
 """
 
-import numpy as np
-
-from repro.core.apps import HwJenkinsHash
-from repro.sw import SwJenkinsHash
-from repro.reporting import format_table
-from repro.workloads import key_batch, zipf_key_batch
+from repro.scenarios import run_scenario
 
 
-def run(system, manager):
-    manager.load("lookup2")
-    hw_driver = HwJenkinsHash()
-    sw_task = SwJenkinsHash()
-    rows = []
-    for label, keys in (
-        ("zipf (hash-table mix)", zipf_key_batch(64, max_length=256, seed=12)),
-        ("fixed 64 B", key_batch(64, 64, seed=12)),
-        ("fixed 4 KiB", key_batch(16, 4096, seed=12)),
-    ):
-        hw_ps = sw_ps = 0
-        for key in keys:
-            hw = hw_driver.run(system, key)
-            sw = sw_task.run(system, key)
-            assert hw.result == sw.result
-            hw_ps += hw.elapsed_ps
-            sw_ps += sw.elapsed_ps
-        mean_len = float(np.mean([len(k) for k in keys]))
-        rows.append([label, len(keys), mean_len, sw_ps / 1e6, hw_ps / 1e6, sw_ps / hw_ps])
-    return rows
-
-
-def test_ablation_key_distribution(benchmark, rig32, save_table):
-    system, manager = rig32
-    rows = benchmark.pedantic(lambda: run(system, manager), rounds=1, iterations=1)
-    text = format_table(
-        "Ablation: key-length distribution vs lookup2 offload (32-bit system)",
-        ["key mix", "keys", "mean bytes", "software (us)", "hardware (us)", "speedup"],
-        rows,
+def test_ablation_key_distribution(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_keydist"), rounds=1, iterations=1
     )
-    save_table("ablation_keydist", text)
+    save_table("ablation_keydist", result.table_text())
 
-    speedups = {row[0]: row[-1] for row in rows}
+    speedups = {row[0]: row[-1] for row in result.rows}
     # Per-key overhead sinks the short-key mixes below the long-key case.
-    assert speedups["zipf (hash-table mix)"] < speedups["fixed 4 KiB"]
-    assert speedups["fixed 64 B"] < speedups["fixed 4 KiB"]
+    assert speedups["zipf (hash-table mix)"] < speedups["fixed 4096 B"]
+    assert speedups["fixed 64 B"] < speedups["fixed 4096 B"]

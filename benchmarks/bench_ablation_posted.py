@@ -3,42 +3,17 @@
 The docks are attached with posted writes (the CPU is released after the
 address phase).  This bench rebuilds the 64-bit dock rig both ways and
 measures a sustained write sequence, quantifying how much of the PIO write
-performance comes from posting.
+performance comes from posting.  Thin wrapper around the
+``ablation_posted`` scenario.
 """
 
-from repro.bus.plb import make_plb
-from repro.bus.transaction import Op, Transaction
-from repro.dock.plb_dock import PlbDock
-from repro.engine.clock import ClockDomain, mhz
-from repro.kernels.streams import SinkKernel
-from repro.reporting import format_table
-
-N = 2048
-DOCK_BASE = 0x8000_0000
-
-
-def measure(posted: bool) -> float:
-    plb = make_plb(ClockDomain("bus", mhz(100)))
-    dock = PlbDock(DOCK_BASE)
-    plb.attach(dock, DOCK_BASE, 0x1_0000, name="dock", posted_writes=posted)
-    dock.attach_kernel(SinkKernel())
-    cursor = 0
-    for i in range(N):
-        completion = plb.request(cursor, Transaction(Op.WRITE, DOCK_BASE, data=i))
-        cursor = completion.master_free_ps
-    return cursor / N / 1000.0  # ns per write, as seen by the master
+from repro.scenarios import run_scenario
 
 
 def test_ablation_posted_writes(benchmark, save_table):
-    results = benchmark.pedantic(
-        lambda: {"posted": measure(True), "non-posted": measure(False)},
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        lambda: run_scenario("ablation_posted"), rounds=1, iterations=1
     )
-    text = format_table(
-        "Ablation: posted vs non-posted dock writes (64-bit PLB dock)",
-        ["mode", "ns per write (master-visible)"],
-        [[k, v] for k, v in results.items()],
-    )
-    save_table("ablation_posted", text)
-    assert results["posted"] < results["non-posted"]
+    save_table("ablation_posted", result.table_text())
+
+    assert result.headline["posted"] < result.headline["non-posted"]

@@ -2,27 +2,29 @@
 
 The paper's figures are structural drawings; the reproduction renders them
 from the live system models, so the diagrams always match the code's
-actual topology, and records them next to the table outputs.
+actual topology, and records them next to the table outputs.  Thin
+wrappers around the ``fig*`` scenarios, which expose the rendered art
+through the ``text`` artifact field.
 """
 
-from repro.bitstream.busmacro import BusMacro, MacroKind
-from repro.core.floorplan import (
-    render_bus_macro,
-    render_generic_architecture,
-    render_system_floorplan,
-)
+from repro.scenarios import run_scenario
 
 
 def test_fig1_generic_architecture(benchmark, save_table):
-    art = benchmark.pedantic(render_generic_architecture, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: run_scenario("fig1_generic_architecture"), rounds=1, iterations=1
+    )
+    art = result.text
     save_table("fig1_generic_architecture", art)
     for unit in ("CPU", "memory interface", "configuration", "external comm", "dynamic"):
         assert unit in art
 
 
 def test_fig2_lut_bus_macros(benchmark, save_table):
-    macro = BusMacro("figure2", MacroKind.LUT, width=2)
-    art = benchmark.pedantic(lambda: render_bus_macro(macro), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: run_scenario("fig2_bus_macros"), rounds=1, iterations=1
+    )
+    art = result.text
     save_table("fig2_bus_macros", art)
     # The figure's signals: In(0)/In(1) leave A, Out(0)/Out(1) enter B.
     assert "In(0)" in art and "In(1)" in art
@@ -30,9 +32,11 @@ def test_fig2_lut_bus_macros(benchmark, save_table):
     assert "designed separately" in art
 
 
-def test_fig3_system32_floorplan(benchmark, rig32, save_table):
-    system, _ = rig32
-    art = benchmark.pedantic(lambda: render_system_floorplan(system), rounds=1, iterations=1)
+def test_fig3_system32_floorplan(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("fig3_system32_floorplan"), rounds=1, iterations=1
+    )
+    art = result.text
     save_table("fig3_system32_floorplan", art)
     assert "XC2VP7" in art
     assert "CPU 200 MHz" in art
@@ -40,9 +44,11 @@ def test_fig3_system32_floorplan(benchmark, rig32, save_table):
     assert "DYNAMIC AREA 28x11" in art
 
 
-def test_fig4_system64_floorplan(benchmark, rig64, save_table):
-    system, _ = rig64
-    art = benchmark.pedantic(lambda: render_system_floorplan(system), rounds=1, iterations=1)
+def test_fig4_system64_floorplan(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("fig4_system64_floorplan"), rounds=1, iterations=1
+    )
+    art = result.text
     save_table("fig4_system64_floorplan", art)
     assert "XC2VP30" in art
     assert "CPU 300 MHz" in art

@@ -1,40 +1,21 @@
 """Table 1 — Resource usage of the 32-bit system.
 
-Regenerates the per-module slice/BRAM inventory of the XC2VP7 design,
-plus the summary rows (static total, dynamic area, device capacity).
+Thin wrapper around the ``table01_resources32`` scenario
+(``repro.scenarios.tables``): the per-module slice/BRAM inventory of the
+XC2VP7 design, plus the summary rows (static total, dynamic area, device
+capacity).
 """
 
-from repro.reporting import format_table
+from repro.scenarios import run_scenario
 
 
-def build_rows(system):
-    rows = []
-    for entry in system.modules:
-        rows.append(
-            [entry.name, entry.resources.slices, entry.resources.bram_blocks, entry.bus, entry.note]
-        )
-    static = system.static_resources()
-    region = system.region.resources
-    rows.append(["-- static total --", static.slices, static.bram_blocks, "", ""])
-    rows.append(["-- dynamic area --", region.slices, region.bram_blocks, "", "28x11 CLBs, 25.0%"])
-    cap = system.device.capacity
-    rows.append(["-- device (XC2VP7) --", cap.slices, cap.bram_blocks, "", "speed grade -6"])
-    return rows
-
-
-def test_table1_resource_usage_32bit(benchmark, rig32, save_table):
-    system, _ = rig32
-
-    rows = benchmark.pedantic(lambda: build_rows(system), rounds=1, iterations=1)
-
-    text = format_table(
-        "Table 1: Resource usage (32-bit system)",
-        ["module", "slices", "BRAM", "bus", "note"],
-        rows,
+def test_table1_resource_usage_32bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table01_resources32"), rounds=1, iterations=1
     )
-    save_table("table01_resources32", text)
+    save_table("table01_resources32", result.table_text())
 
-    static = system.static_resources()
-    assert static.slices + system.region.resources.slices <= system.device.capacity.slices
-    assert system.region.resources.slices == 1232
-    assert system.region.resources.bram_blocks == 6
+    h = result.headline
+    assert h["static_slices"] + h["region_slices"] <= h["device_slices"]
+    assert h["region_slices"] == 1232
+    assert h["region_bram"] == 6

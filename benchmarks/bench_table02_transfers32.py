@@ -1,37 +1,20 @@
 """Table 2 — Measured times for data transfers between the dynamic region
 and external memory on the 32-bit system (CPU-controlled, per 32-bit word).
+
+Thin wrapper around the ``table02_transfers32`` scenario.
 """
 
-from repro.core import TransferBench
-from repro.reporting import format_table
-
-SEQUENCE_LENGTHS = (1024, 4096, 16384)
+from repro.scenarios import run_scenario
 
 
-def run_sequences(system):
-    bench = TransferBench(system)
-    rows = []
-    for n in SEQUENCE_LENGTHS:
-        w = bench.pio_write_sequence(n)
-        r = bench.pio_read_sequence(n)
-        wr = bench.pio_interleaved_sequence(n)
-        rows.append([n, w.per_transfer_ns, r.per_transfer_ns, wr.per_transfer_ns])
-    return rows
-
-
-def test_table2_transfer_times_32bit(benchmark, rig32, save_table):
-    system, _ = rig32
-
-    rows = benchmark.pedantic(lambda: run_sequences(system), rounds=1, iterations=1)
-
-    text = format_table(
-        "Table 2: Transfer times, 32-bit system (CPU-controlled, ns per 32-bit transfer)",
-        ["sequence length", "write", "read", "write/read pair"],
-        rows,
+def test_table2_transfer_times_32bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table02_transfers32"), rounds=1, iterations=1
     )
-    save_table("table02_transfers32", text)
+    save_table("table02_transfers32", result.table_text())
 
     # Shape: all sub-microsecond-ish, pair ~ write + read, stable over n.
+    rows = result.rows
     for n, w, r, wr in rows:
         assert 100 < w < 2_000
         assert 100 < r < 2_000

@@ -2,51 +2,18 @@
 
 Software-only on the PPC405 vs the 8-stage matching pipeline in the
 dynamic area.  The paper reports "speedup factors of more than 26".
+Thin wrapper around the ``table03_patmatch32`` scenario, which also
+cross-checks the hardware result against the software reference.
 """
 
-import numpy as np
-
-from repro.core.apps import HwPatternMatch
-from repro.sw import SwPatternMatch
-from repro.reporting import format_table
-from repro.workloads import binary_image
-
-IMAGE_SIZES = ((16, 64), (24, 96), (32, 128))
+from repro.scenarios import run_scenario
 
 
-def run_sizes(system, manager, pattern):
-    manager.load("patmatch")
-    rows = []
-    for height, width in IMAGE_SIZES:
-        image = binary_image(height, width, seed=height * width)
-        hw = HwPatternMatch().run(system, image)
-        sw = SwPatternMatch(pattern).run(system, image)
-        assert np.array_equal(hw.result, sw.result)
-        rows.append(
-            [
-                f"{height}x{width}",
-                hw.result.size,
-                sw.elapsed_ps / 1e6,
-                hw.elapsed_ps / 1e6,
-                sw.elapsed_ps / hw.elapsed_ps,
-            ]
-        )
-    return rows
-
-
-def test_table3_pattern_matching_32bit(benchmark, rig32, pattern, save_table):
-    system, manager = rig32
-
-    rows = benchmark.pedantic(
-        lambda: run_sizes(system, manager, pattern), rounds=1, iterations=1
+def test_table3_pattern_matching_32bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table03_patmatch32"), rounds=1, iterations=1
     )
+    save_table("table03_patmatch32", result.table_text())
 
-    text = format_table(
-        "Table 3: Pattern matching in binary images (32-bit system)",
-        ["image", "positions", "software (us)", "hardware (us)", "speedup"],
-        rows,
-    )
-    save_table("table03_patmatch32", text)
-
-    for row in rows:
+    for row in result.rows:
         assert row[-1] > 26  # "speedup factors of more than 26"

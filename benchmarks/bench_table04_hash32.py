@@ -3,42 +3,17 @@
 Jenkins' lookup2 over variable-length keys.  The whole hash runs in
 hardware, but the original C was optimised for 32-bit CPUs and transfer
 time dominates, so the speedup is "much more modest" than pattern
-matching's.
+matching's.  Thin wrapper around the ``table04_hash32`` scenario.
 """
 
-from repro.core.apps import HwJenkinsHash
-from repro.sw import SwJenkinsHash
-from repro.reporting import format_table
-from repro.workloads import random_key
-
-KEY_LENGTHS = (256, 1024, 4096, 16384)
+from repro.scenarios import run_scenario
 
 
-def run_lengths(system, manager):
-    manager.load("lookup2")
-    rows = []
-    for length in KEY_LENGTHS:
-        key = random_key(length, seed=length)
-        hw = HwJenkinsHash().run(system, key)
-        sw = SwJenkinsHash().run(system, key)
-        assert hw.result == sw.result
-        rows.append(
-            [length, sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6, sw.elapsed_ps / hw.elapsed_ps]
-        )
-    return rows
-
-
-def test_table4_hash_32bit(benchmark, rig32, save_table):
-    system, manager = rig32
-
-    rows = benchmark.pedantic(lambda: run_lengths(system, manager), rounds=1, iterations=1)
-
-    text = format_table(
-        "Table 4: Results for hash function lookup2 (32-bit system)",
-        ["key bytes", "software (us)", "hardware (us)", "speedup"],
-        rows,
+def test_table4_hash_32bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table04_hash32"), rounds=1, iterations=1
     )
-    save_table("table04_hash32", text)
+    save_table("table04_hash32", result.table_text())
 
-    for row in rows[1:]:  # small keys dominated by per-call overheads
+    for row in result.rows[1:]:  # small keys dominated by per-call overheads
         assert 0.8 < row[-1] < 1.8  # much more modest than 26x

@@ -4,63 +4,19 @@ Brightness adjustment, additive blending and the fade effect on 8-bit
 grayscale images.  The last two tasks require the CPU to combine two
 source images before sending data to the dynamic area, which caps their
 speedups; blending is the simpler operation and benefits least.
+Thin wrapper around the ``table05_image32`` scenario.
 """
 
-import numpy as np
-
-from repro.core.apps import HwBlendPio, HwBrightnessPio, HwFadePio
-from repro.sw import SwBlend, SwBrightness, SwFade
-from repro.reporting import format_table
-from repro.workloads import grayscale_image
-
-#: Must match the kernels registered in conftest.py.
-BRIGHTNESS_CONSTANT = 48
-FADE_FACTOR = 0.5
-
-IMAGE = (96, 96)
+from repro.scenarios import run_scenario
 
 
-def run_tasks(system, manager):
-    a = grayscale_image(*IMAGE, seed=1)
-    b = grayscale_image(*IMAGE, seed=2)
-    rows = []
-
-    manager.load("brightness")
-    hw = HwBrightnessPio().run(system, a)
-    sw = SwBrightness(BRIGHTNESS_CONSTANT).run(system, a)
-    assert np.array_equal(hw.result, sw.result)
-    rows.append(["brightness", sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6,
-                 sw.elapsed_ps / hw.elapsed_ps])
-
-    manager.load("blend")
-    hw = HwBlendPio().run(system, a, b)
-    sw = SwBlend().run(system, a, b)
-    assert np.array_equal(hw.result, sw.result)
-    rows.append(["additive blending", sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6,
-                 sw.elapsed_ps / hw.elapsed_ps])
-
-    manager.load("fade")
-    hw = HwFadePio().run(system, a, b)
-    sw = SwFade(FADE_FACTOR).run(system, a, b)
-    assert np.array_equal(hw.result, sw.result)
-    rows.append(["fade effect", sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6,
-                 sw.elapsed_ps / hw.elapsed_ps])
-    return rows
-
-
-def test_table5_image_tasks_32bit(benchmark, rig32, save_table):
-    system, manager = rig32
-
-    rows = benchmark.pedantic(lambda: run_tasks(system, manager), rounds=1, iterations=1)
-
-    text = format_table(
-        f"Table 5: Speedups for simple image processing tasks (32-bit, {IMAGE[0]}x{IMAGE[1]})",
-        ["task", "software (us)", "hardware (us)", "speedup"],
-        rows,
+def test_table5_image_tasks_32bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table05_image32"), rounds=1, iterations=1
     )
-    save_table("table05_image32", text)
+    save_table("table05_image32", result.table_text())
 
-    speedups = {row[0]: row[-1] for row in rows}
+    speedups = {row[0]: row[-1] for row in result.rows}
     assert all(s > 1 for s in speedups.values())
     # Blend (the simpler two-source op) benefits least.
     assert speedups["additive blending"] < speedups["fade effect"]

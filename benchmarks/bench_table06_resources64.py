@@ -2,42 +2,23 @@
 
 Same inventory as Table 1 for the XC2VP30 design; the PLB Dock line item
 is visibly larger than the OPB Dock's (DMA controller + output FIFO +
-interrupt generator).
+interrupt generator).  Thin wrapper around the ``table06_resources64``
+scenario.
 """
 
 from repro.dock.opb_dock import OpbDock
 from repro.dock.plb_dock import PlbDock
-from repro.reporting import format_table
+from repro.scenarios import run_scenario
 
 
-def build_rows(system):
-    rows = []
-    for entry in system.modules:
-        rows.append(
-            [entry.name, entry.resources.slices, entry.resources.bram_blocks, entry.bus, entry.note]
-        )
-    static = system.static_resources()
-    region = system.region.resources
-    rows.append(["-- static total --", static.slices, static.bram_blocks, "", ""])
-    rows.append(["-- dynamic area --", region.slices, region.bram_blocks, "", "32x24 CLBs, 22.4%"])
-    cap = system.device.capacity
-    rows.append(["-- device (XC2VP30) --", cap.slices, cap.bram_blocks, "", "speed grade -7"])
-    return rows
-
-
-def test_table6_resource_usage_64bit(benchmark, rig64, save_table):
-    system, _ = rig64
-
-    rows = benchmark.pedantic(lambda: build_rows(system), rounds=1, iterations=1)
-
-    text = format_table(
-        "Table 6: Resource usage (64-bit system)",
-        ["module", "slices", "BRAM", "bus", "note"],
-        rows,
+def test_table6_resource_usage_64bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table06_resources64"), rounds=1, iterations=1
     )
-    save_table("table06_resources64", text)
+    save_table("table06_resources64", result.table_text())
 
     assert PlbDock.RESOURCES.slices > OpbDock.RESOURCES.slices
-    assert system.static_resources().slices > 0
-    assert system.region.resources.slices == 3072
-    assert system.region.resources.bram_blocks == 22
+    h = result.headline
+    assert h["static_slices"] > 0
+    assert h["region_slices"] == 3072
+    assert h["region_bram"] == 22

@@ -2,44 +2,20 @@
 64-bit system.  Directly comparable with Table 2: the decrease must land
 between 4x and 6x depending on the transfer type (bus clock x2, CPU clock
 x1.5, no PLB-OPB bridge in the path).
+
+Thin wrapper around the ``table07_transfers64_pio`` scenario.
 """
 
-from repro.core import TransferBench
-from repro.reporting import format_table
-
-SEQUENCE_LENGTHS = (1024, 4096, 16384)
+from repro.scenarios import run_scenario
 
 
-def run_both(system32, system64):
-    bench32 = TransferBench(system32)
-    bench64 = TransferBench(system64)
-    rows = []
-    for label, method in (
-        ("write", "pio_write_sequence"),
-        ("read", "pio_read_sequence"),
-        ("write/read pair", "pio_interleaved_sequence"),
-    ):
-        t32 = getattr(bench32, method)(4096).per_transfer_ns
-        t64 = getattr(bench64, method)(4096).per_transfer_ns
-        rows.append([label, t64, t32, t32 / t64])
-    return rows
-
-
-def test_table7_transfer_times_64bit_pio(benchmark, rig32, rig64, save_table):
-    system32, _ = rig32
-    system64, _ = rig64
-
-    rows = benchmark.pedantic(lambda: run_both(system32, system64), rounds=1, iterations=1)
-
-    text = format_table(
-        "Table 7: 32-bit CPU-controlled transfers on the 64-bit system "
-        "(ns per transfer, vs Table 2)",
-        ["transfer type", "64-bit system", "32-bit system", "improvement"],
-        rows,
+def test_table7_transfer_times_64bit_pio(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table07_transfers64_pio"), rounds=1, iterations=1
     )
-    save_table("table07_transfers64_pio", text)
+    save_table("table07_transfers64_pio", result.table_text())
 
     # "A decrease in transfer time between 4 and 6 times, depending on the
     #  transfer type, can be observed."
-    for label, t64, t32, ratio in rows:
+    for label, t64, t32, ratio in result.rows:
         assert 4.0 <= ratio <= 6.0, label

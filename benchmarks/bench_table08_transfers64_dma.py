@@ -3,38 +3,21 @@ the dynamic region and external memory (64-bit system).
 
 The interleaved row is block-interleaved: the write stream fills the
 2047-deep output FIFO, pauses, and a DMA burst drains it to memory.
+Thin wrapper around the ``table08_transfers64_dma`` scenario, whose
+headline carries the PIO reference time.
 """
 
-from repro.core import TransferBench
-from repro.reporting import format_table
-
-SEQUENCE_LENGTHS = (2047, 8192, 32768)
+from repro.scenarios import run_scenario
 
 
-def run_sequences(system):
-    bench = TransferBench(system)
-    rows = []
-    for n in SEQUENCE_LENGTHS:
-        w = bench.dma_write_sequence(n)
-        r = bench.dma_read_sequence(n)
-        wr = bench.dma_interleaved_sequence(n)
-        rows.append([n, w.per_transfer_ns, r.per_transfer_ns, wr.per_transfer_ns])
-    return rows
-
-
-def test_table8_transfer_times_64bit_dma(benchmark, rig64, save_table):
-    system, _ = rig64
-
-    rows = benchmark.pedantic(lambda: run_sequences(system), rounds=1, iterations=1)
-
-    text = format_table(
-        "Table 8: DMA-controlled transfers, 64-bit system (ns per 64-bit transfer)",
-        ["sequence length", "write", "read", "write/read (block-interleaved)"],
-        rows,
+def test_table8_transfer_times_64bit_dma(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table08_transfers64_dma"), rounds=1, iterations=1
     )
-    save_table("table08_transfers64_dma", text)
+    save_table("table08_transfers64_dma", result.table_text())
 
-    pio = TransferBench(system).pio_write_sequence(4096).per_transfer_ns
+    rows = result.rows
+    pio = result.headline["pio_write_ns"]
     for n, w, r, wr in rows:
         # Each DMA transfer moves 64 bits yet is far cheaper than a 32-bit
         # PIO transfer — the whole reason the PLB Dock grew a DMA engine.

@@ -3,57 +3,19 @@
 The 32-bit implementation transferred "without any modifications": still
 CPU-controlled transfers, no use of the wider bus.  Software benefits more
 from the quicker (cached DDR) memory, so the hardware-vs-software speedup
-*decreases* while remaining considerable.
+*decreases* while remaining considerable.  Thin wrapper around the
+``table09_patmatch64`` scenario, whose rows carry both systems' speedups.
 """
 
-import numpy as np
-
-from repro.core.apps import HwPatternMatch
-from repro.sw import SwPatternMatch
-from repro.reporting import format_table
-from repro.workloads import binary_image
-
-IMAGE_SIZES = ((16, 64), (24, 96), (32, 128))
+from repro.scenarios import run_scenario
 
 
-def run_sizes(system, manager, pattern):
-    manager.load("patmatch")
-    rows = []
-    for height, width in IMAGE_SIZES:
-        image = binary_image(height, width, seed=height * width)
-        hw = HwPatternMatch().run(system, image)
-        sw = SwPatternMatch(pattern).run(system, image)
-        assert np.array_equal(hw.result, sw.result)
-        rows.append(
-            [
-                f"{height}x{width}",
-                sw.elapsed_ps / 1e6,
-                hw.elapsed_ps / 1e6,
-                sw.elapsed_ps / hw.elapsed_ps,
-            ]
-        )
-    return rows
-
-
-def test_table9_pattern_matching_64bit(benchmark, rig32, rig64, pattern, save_table):
-    system64, manager64 = rig64
-    system32, manager32 = rig32
-
-    rows = benchmark.pedantic(
-        lambda: run_sizes(system64, manager64, pattern), rounds=1, iterations=1
+def test_table9_pattern_matching_64bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table09_patmatch64"), rounds=1, iterations=1
     )
-    rows32 = run_sizes(system32, manager32, pattern)
+    save_table("table09_patmatch64", result.table_text())
 
-    merged = [
-        row + [row32[-1]] for row, row32 in zip(rows, rows32)
-    ]
-    text = format_table(
-        "Table 9: Pattern matching in binary images (64-bit system)",
-        ["image", "software (us)", "hardware (us)", "speedup", "(32-bit speedup)"],
-        merged,
-    )
-    save_table("table09_patmatch64", text)
-
-    for row, row32 in zip(rows, rows32):
-        assert row[-1] < row32[-1]  # decreased speedup
-        assert row[-1] > 8  # "still ... a considerable performance advantage"
+    for row in result.rows:  # [..., speedup64, speedup32]
+        assert row[-2] < row[-1]  # decreased speedup
+        assert row[-2] > 8  # "still ... a considerable performance advantage"

@@ -2,48 +2,19 @@
 
 Unmodified 32-bit method (CPU-controlled transfers).  Both software and
 hardware improve; the hardware speedup ends up "only ... slightly better"
-than on the 32-bit system.
+than on the 32-bit system.  Thin wrapper around the ``table10_hash64``
+scenario, whose rows carry both systems' speedups.
 """
 
-from repro.core.apps import HwJenkinsHash
-from repro.sw import SwJenkinsHash
-from repro.reporting import format_table
-from repro.workloads import random_key
-
-KEY_LENGTHS = (256, 1024, 4096, 16384)
+from repro.scenarios import run_scenario
 
 
-def run_lengths(system, manager):
-    manager.load("lookup2")
-    rows = []
-    for length in KEY_LENGTHS:
-        key = random_key(length, seed=length)
-        hw = HwJenkinsHash().run(system, key)
-        sw = SwJenkinsHash().run(system, key)
-        assert hw.result == sw.result
-        rows.append(
-            [length, sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6, sw.elapsed_ps / hw.elapsed_ps]
-        )
-    return rows
-
-
-def test_table10_hash_64bit(benchmark, rig32, rig64, save_table):
-    system64, manager64 = rig64
-    system32, manager32 = rig32
-
-    rows64 = benchmark.pedantic(
-        lambda: run_lengths(system64, manager64), rounds=1, iterations=1
+def test_table10_hash_64bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table10_hash64"), rounds=1, iterations=1
     )
-    rows32 = run_lengths(system32, manager32)
+    save_table("table10_hash64", result.table_text())
 
-    merged = [r64 + [r32[-1]] for r64, r32 in zip(rows64, rows32)]
-    text = format_table(
-        "Table 10: Results for hash function lookup2 (64-bit system)",
-        ["key bytes", "software (us)", "hardware (us)", "speedup", "(32-bit speedup)"],
-        merged,
-    )
-    save_table("table10_hash64", text)
-
-    for r64, r32 in zip(rows64[1:], rows32[1:]):
-        assert r64[-1] > r32[-1]  # slightly better speedup
-        assert r64[-1] < 2.5  # ... but still transfer-limited
+    for row in result.rows[1:]:  # [..., speedup64, speedup32]
+        assert row[-2] > row[-1]  # slightly better speedup
+        assert row[-2] < 2.5  # ... but still transfer-limited

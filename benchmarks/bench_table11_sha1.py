@@ -1,56 +1,26 @@
 """Table 11 — SHA-1 (RFC 3174) on the 64-bit system.
 
-The kernel does not fit the 32-bit system's dynamic area (the bench
+The kernel does not fit the 32-bit system's dynamic area (the scenario
 verifies the rejection), so only 64-bit results exist — with 32-bit
 CPU-controlled transfers, exactly as the paper ran it.  The RFC reference
 software has a large per-call overhead that fades for larger data sets.
+Thin wrapper around the ``table11_sha1`` scenario.
 """
 
-import pytest
-
-from repro.core.apps import HwSha1
-from repro.core.reconfig import ReconfigManager
-from repro.errors import ResourceError
-from repro.kernels import Sha1Kernel
-from repro.sw import SwSha1
-from repro.reporting import format_table
-from repro.workloads import random_key
-
-MESSAGE_SIZES = (64, 512, 4096, 32768)
+from repro.scenarios import run_scenario
 
 
-def run_sizes(system, manager):
-    manager.load("sha1")
-    rows = []
-    for size in MESSAGE_SIZES:
-        message = random_key(size, seed=size)
-        hw = HwSha1().run(system, message)
-        sw = SwSha1().run(system, message)
-        assert hw.result == sw.result
-        rows.append(
-            [size, sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6, sw.elapsed_ps / hw.elapsed_ps]
-        )
-    return rows
-
-
-def test_table11_sha1(benchmark, rig32, rig64, save_table):
-    system32, _ = rig32
-    system64, manager64 = rig64
+def test_table11_sha1(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table11_sha1"), rounds=1, iterations=1
+    )
+    save_table("table11_sha1", result.table_text())
 
     # "Our implementation does not fit into the dynamic area of the 32-bit
     #  system, so no comparison can be done."
-    with pytest.raises(ResourceError):
-        ReconfigManager(system32).register(Sha1Kernel())
+    assert result.headline["sha1_rejected_on_32bit"] is True
 
-    rows = benchmark.pedantic(lambda: run_sizes(system64, manager64), rounds=1, iterations=1)
-
-    text = format_table(
-        "Table 11: SHA-1 (64-bit system; kernel does not fit the 32-bit system)",
-        ["message bytes", "software (us)", "hardware (us)", "speedup"],
-        rows,
-    )
-    save_table("table11_sha1", text)
-
+    rows = result.rows
     for row in rows:
         assert row[-1] > 2  # "a considerable performance gain"
     # Software per-byte cost falls as the per-call overhead amortises.

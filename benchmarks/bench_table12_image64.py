@@ -3,82 +3,22 @@
 Brightness uses the full 64-bit DMA path "without additional work" and its
 speedup clearly increases over Table 5.  Blend and fade must first have
 their two source images combined by the CPU — the "data preparation" row —
-so their speedup increase is significantly smaller.
+so their speedup increase is significantly smaller.  Thin wrapper around
+the ``table12_image64`` scenario, whose rows carry both systems' speedups.
 """
 
-import numpy as np
-
-from repro.core.apps import (
-    HwBlendDma,
-    HwBlendPio,
-    HwBrightnessDma,
-    HwBrightnessPio,
-    HwFadeDma,
-    HwFadePio,
-)
-from repro.sw import SwBlend, SwBrightness, SwFade
-from repro.reporting import format_table
-from repro.workloads import grayscale_image
-
-#: Must match the kernels registered in conftest.py.
-BRIGHTNESS_CONSTANT = 48
-FADE_FACTOR = 0.5
-
-IMAGE = (96, 96)
+from repro.scenarios import run_scenario
 
 
-def run_tasks(system, manager, drivers):
-    a = grayscale_image(*IMAGE, seed=1)
-    b = grayscale_image(*IMAGE, seed=2)
-    rows = []
-
-    manager.load("brightness")
-    hw = drivers[0]().run(system, a)
-    sw = SwBrightness(BRIGHTNESS_CONSTANT).run(system, a)
-    assert np.array_equal(hw.result, sw.result)
-    rows.append(["brightness", sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6, 0.0,
-                 sw.elapsed_ps / hw.elapsed_ps])
-
-    manager.load("blend")
-    hw = drivers[1]().run(system, a, b)
-    sw = SwBlend().run(system, a, b)
-    assert np.array_equal(hw.result, sw.result)
-    rows.append(["additive blending", sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6,
-                 hw.breakdown.get("data_preparation_ps", 0) / 1e6,
-                 sw.elapsed_ps / hw.elapsed_ps])
-
-    manager.load("fade")
-    hw = drivers[2]().run(system, a, b)
-    sw = SwFade(FADE_FACTOR).run(system, a, b)
-    assert np.array_equal(hw.result, sw.result)
-    rows.append(["fade effect", sw.elapsed_ps / 1e6, hw.elapsed_ps / 1e6,
-                 hw.breakdown.get("data_preparation_ps", 0) / 1e6,
-                 sw.elapsed_ps / hw.elapsed_ps])
-    return rows
-
-
-def test_table12_image_tasks_64bit(benchmark, rig32, rig64, save_table):
-    system64, manager64 = rig64
-    system32, manager32 = rig32
-
-    rows64 = benchmark.pedantic(
-        lambda: run_tasks(system64, manager64, (HwBrightnessDma, HwBlendDma, HwFadeDma)),
-        rounds=1,
-        iterations=1,
+def test_table12_image_tasks_64bit(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: run_scenario("table12_image64"), rounds=1, iterations=1
     )
-    rows32 = run_tasks(system32, manager32, (HwBrightnessPio, HwBlendPio, HwFadePio))
+    save_table("table12_image64", result.table_text())
 
-    merged = [r64 + [r32[-1]] for r64, r32 in zip(rows64, rows32)]
-    text = format_table(
-        f"Table 12: Image tasks, 64-bit system with DMA ({IMAGE[0]}x{IMAGE[1]})",
-        ["task", "software (us)", "hardware (us)", "data preparation (us)",
-         "speedup", "(32-bit speedup)"],
-        merged,
-    )
-    save_table("table12_image64", text)
-
-    s64 = {row[0]: row[-1] for row in rows64}
-    s32 = {row[0]: row[-1] for row in rows32}
+    # rows: [task, sw, hw, prep, speedup64, speedup32]
+    s64 = {row[0]: row[-2] for row in result.rows}
+    s32 = {row[0]: row[-1] for row in result.rows}
     # "a clear increase of the speedup" for brightness...
     assert s64["brightness"] > 2 * s32["brightness"]
     # ...and a significantly smaller increase for the two-source tasks.
@@ -86,7 +26,7 @@ def test_table12_image_tasks_64bit(benchmark, rig32, rig64, save_table):
         assert s64[task] >= s32[task] * 0.95
         assert s64[task] / s32[task] < (s64["brightness"] / s32["brightness"]) / 1.5
     # Data preparation appears only for the two-source tasks.
-    prep = {row[0]: row[3] for row in rows64}
+    prep = {row[0]: row[3] for row in result.rows}
     assert prep["brightness"] == 0.0
     assert prep["additive blending"] > 0
     assert prep["fade effect"] > 0

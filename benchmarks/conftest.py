@@ -1,9 +1,12 @@
 """Shared fixtures for the benchmark harness.
 
-Each ``bench_tableXX_*.py`` regenerates one table of the paper; the
-``benchmark`` fixture wraps the simulation run (so pytest-benchmark reports
-host wall-clock), while the *simulated* numbers are printed as a
-paper-style table and written to ``benchmarks/results/``.
+Each ``bench_tableXX_*.py`` regenerates one table of the paper by running
+the matching registered scenario (:mod:`repro.scenarios`); the
+``benchmark`` fixture wraps the run (so pytest-benchmark reports host
+wall-clock) while the *simulated* numbers come from the scenario itself
+and are written to ``benchmarks/results/``.  ``repro sweep`` runs the
+same scenarios through the parallel orchestrator — the rows are
+byte-identical either way (docs/SWEEP.md).
 """
 
 from __future__ import annotations
@@ -12,37 +15,26 @@ import os
 
 import pytest
 
-from repro.core import build_system32, build_system64
-from repro.core.reconfig import ReconfigManager
-from repro.kernels import (
-    BlendKernel,
-    BrightnessKernel,
-    FadeKernel,
-    JenkinsHashKernel,
-    PatternMatchKernel,
-    Sha1Kernel,
+from repro.scenarios.rigs import (
+    BRIGHTNESS_CONSTANT,
+    FADE_FACTOR,
+    PATTERN_SEED,
+    build_rig32,
+    build_rig64,
 )
+from repro.sweep.results_io import write_text_result
 from repro.workloads import binary_pattern
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-#: Image-task constants shared across table benches.
-BRIGHTNESS_CONSTANT = 48
-FADE_FACTOR = 0.5
+__all__ = ["BRIGHTNESS_CONSTANT", "FADE_FACTOR", "RESULTS_DIR"]
 
 
 @pytest.fixture(scope="session")
-def results_dir():
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    return RESULTS_DIR
-
-
-@pytest.fixture(scope="session")
-def save_table(results_dir):
+def save_table():
     def _save(name: str, text: str) -> None:
-        path = os.path.join(results_dir, f"{name}.txt")
-        with open(path, "w") as handle:
-            handle.write(text + "\n")
+        # write_text_result creates RESULTS_DIR on demand.
+        write_text_result(RESULTS_DIR, name, text)
         print()
         print(text)
 
@@ -51,30 +43,14 @@ def save_table(results_dir):
 
 @pytest.fixture
 def pattern():
-    return binary_pattern(seed=2006)
-
-
-def _register_all(system, pattern):
-    manager = ReconfigManager(system)
-    manager.register(PatternMatchKernel(pattern))
-    manager.register(JenkinsHashKernel())
-    manager.register(BrightnessKernel(BRIGHTNESS_CONSTANT))
-    manager.register(BlendKernel())
-    manager.register(FadeKernel(FADE_FACTOR))
-    try:
-        manager.register(Sha1Kernel())
-    except Exception:
-        pass  # does not fit the 32-bit region — the paper's point
-    return manager
+    return binary_pattern(seed=PATTERN_SEED)
 
 
 @pytest.fixture
-def rig32(pattern):
-    system = build_system32()
-    return system, _register_all(system, pattern)
+def rig32():
+    return build_rig32()
 
 
 @pytest.fixture
-def rig64(pattern):
-    system = build_system64()
-    return system, _register_all(system, pattern)
+def rig64():
+    return build_rig64()

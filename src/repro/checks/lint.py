@@ -18,6 +18,11 @@ module.  The rules encode the modelling contract documented in
   primitives must be guarded through :mod:`repro.engine.fastpath` (or a
   local predicate over it), and nothing outside that module may read the
   ``REPRO_NO_FAST_PATH`` environment variable directly.
+* **LINT006** — scenario purity.  Functions registered with the
+  ``@scenario(...)`` decorator are cached content-addressed by (source,
+  params, version); wall-clock reads, ``global`` state, or mutation of
+  module-level objects would make identical keys yield different
+  results, so none may appear in a scenario body.
 
 Per-line suppression: append ``# repro: noqa RULE-ID[,RULE-ID...]`` to
 silence named rules on that line, or ``# repro: noqa`` to silence all.
@@ -28,7 +33,7 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from .diagnostics import CheckReport, Diagnostic, Severity, register_rule
 
@@ -67,6 +72,13 @@ register_rule(
     "Vectorized burst primitives must stay behind the repro.engine.fastpath "
     "gate so traces and the reference path remain byte-identical.",
 )
+register_rule(
+    "LINT006",
+    "impure-scenario",
+    "Registered sweep scenarios must be deterministic-pure: the result "
+    "cache keys on (source, params, version) only, so wall-clock reads or "
+    "module-level mutable state would make cached results wrong.",
+)
 
 #: Calls that read the host clock: root module name -> attribute names.
 _WALL_CLOCK = {
@@ -93,6 +105,28 @@ _FASTPATH_PRIMITIVES = {"request_burst", "access_burst"}
 
 #: Wrappers that coerce a float expression back to an integer.
 _INT_COERCIONS = {"int", "round", "floor", "ceil", "len", "max", "min", "divmod"}
+
+#: Decorator names that mark a function as a registered sweep scenario.
+_SCENARIO_DECORATORS = {"scenario"}
+
+#: Method names that mutate their receiver in place (LINT006).
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "sort",
+    "reverse",
+    "appendleft",
+    "extendleft",
+}
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9,\s-]+))?", re.IGNORECASE)
 
@@ -131,6 +165,91 @@ def _attr_chain(node: ast.AST) -> List[str]:
     return list(reversed(parts))
 
 
+def _base_name(node: ast.AST) -> Optional[str]:
+    """Innermost name of an attribute/subscript chain (``a.b[0].c`` -> a)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _bound_names(target: ast.AST) -> Iterator[str]:
+    """Names an assignment *target* binds.
+
+    Only plain names and destructuring patterns bind; a subscript or
+    attribute target mutates an existing object without binding anything.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound by top-level assignments and imports (LINT006 targets)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                names.update(_bound_names(target))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _is_scenario_decorated(node) -> bool:
+    """Does the function carry the registry's ``@scenario(...)`` marker?"""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+        else:
+            name = getattr(target, "id", None)
+        if name in _SCENARIO_DECORATORS:
+            return True
+    return False
+
+
+def _local_bindings(node) -> Set[str]:
+    """Every name the function binds locally (params, assigns, loops, ...)."""
+    bound: Set[str] = set()
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign):
+            for target in child.targets:
+                bound.update(_bound_names(target))
+        elif isinstance(child, (ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+            if isinstance(child.target, ast.Name):
+                bound.add(child.target.id)
+        elif isinstance(child, (ast.For, ast.AsyncFor)):
+            bound.update(_bound_names(child.target))
+        elif isinstance(child, ast.withitem) and child.optional_vars is not None:
+            bound.update(_bound_names(child.optional_vars))
+        elif isinstance(child, ast.comprehension):
+            bound.update(_bound_names(child.target))
+        elif isinstance(child, ast.ExceptHandler) and child.name:
+            bound.add(child.name)
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if child is not node:
+                bound.add(child.name)
+    return bound
+
+
 def _float_tainted(node: ast.AST) -> bool:
     """Does evaluating ``node`` plausibly produce a non-integer float?
 
@@ -156,10 +275,13 @@ def _float_tainted(node: ast.AST) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, report: CheckReport) -> None:
+    def __init__(
+        self, path: str, report: CheckReport, module_names: Optional[Set[str]] = None
+    ) -> None:
         self.path = path
         self.report = report
         self.in_fastpath_module = path.replace("\\", "/").endswith("engine/fastpath.py")
+        self.module_names = module_names or set()
 
     # -- helpers ----------------------------------------------------------
     def _flag(self, rule: str, node: ast.AST, message: str, hint: Optional[str] = None) -> None:
@@ -297,7 +419,76 @@ class _Visitor(ast.NodeVisitor):
                 "without a fast-path guard in scope",
                 hint="gate the call on Bus.fast_path_active() / repro.engine.fastpath",
             )
+        if _is_scenario_decorated(node):
+            self._scan_scenario_purity(node)
         self.generic_visit(node)
+
+    # -- LINT006: scenario purity -----------------------------------------
+    def _scan_scenario_purity(self, node) -> None:
+        """Flag wall-clock reads and shared-state mutation in a scenario.
+
+        Shared state = module-level bindings not shadowed by a local
+        binding; reading them is fine, writing or mutating them is not.
+        """
+        shared = self.module_names - _local_bindings(node)
+        hint = (
+            "scenarios are cached by (source, params, version); keep all "
+            "state local and all time simulated"
+        )
+        for child in ast.walk(node):
+            if isinstance(child, ast.Global):
+                self._flag(
+                    "LINT006",
+                    child,
+                    f"scenario {node.name!r} declares global "
+                    f"{', '.join(child.names)}",
+                    hint=hint,
+                )
+            elif isinstance(child, ast.Call) and isinstance(child.func, ast.Attribute):
+                chain = _attr_chain(child.func)
+                root, attr = chain[0] if chain else None, child.func.attr
+                if root in _WALL_CLOCK and attr in _WALL_CLOCK[root]:
+                    self._flag(
+                        "LINT006",
+                        child,
+                        f"scenario {node.name!r} reads the wall clock "
+                        f"({'.'.join(chain)}())",
+                        hint=hint,
+                    )
+                elif attr in _MUTATING_METHODS and _base_name(child.func.value) in shared:
+                    self._flag(
+                        "LINT006",
+                        child,
+                        f"scenario {node.name!r} mutates module-level "
+                        f"{_base_name(child.func.value)!r} via .{attr}()",
+                        hint=hint,
+                    )
+            elif isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign) else [child.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        base = _base_name(target)
+                        if base in shared:
+                            self._flag(
+                                "LINT006",
+                                child,
+                                f"scenario {node.name!r} writes into "
+                                f"module-level {base!r}",
+                                hint=hint,
+                            )
+            elif isinstance(child, ast.Delete):
+                for target in child.targets:
+                    base = _base_name(target)
+                    if isinstance(target, (ast.Subscript, ast.Attribute)) and base in shared:
+                        self._flag(
+                            "LINT006",
+                            child,
+                            f"scenario {node.name!r} deletes from "
+                            f"module-level {base!r}",
+                            hint=hint,
+                        )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node)
@@ -320,7 +511,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
             severity=Severity.ERROR,
         )
         return report.diagnostics
-    _Visitor(path, report).visit(tree)
+    _Visitor(path, report, module_names=_module_level_names(tree)).visit(tree)
     suppressions = _parse_suppressions(source)
     _unsuppressed = object()
     kept: List[Diagnostic] = []

@@ -10,6 +10,7 @@ writing a script::
     python -m repro demo                    # reconfigure + accelerate a task
     python -m repro trace --words 64        # bus-level transaction trace
     python -m repro check                   # DRC + self-lint (docs/CHECKS.md)
+    python -m repro sweep run --jobs 4      # parallel scenario sweep (docs/SWEEP.md)
 
 ``demo`` and ``transfers`` run the cheap system DRC before simulating
 (disable with ``--no-drc``); a configuration that fails design rules dies
@@ -23,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from .checks import cli as checks_cli
+from .sweep import cli as sweep_cli
 from .core import (
     TransferBench,
     build_system32,
@@ -245,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     checks_cli.add_arguments(p_check)
     p_check.set_defaults(func=checks_cli.run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="parallel scenario sweep with result caching (docs/SWEEP.md)"
+    )
+    sweep_cli.add_arguments(p_sweep)
+    p_sweep.set_defaults(func=sweep_cli.run)
 
     p_assess = sub.add_parser(
         "assess", help="lower-bound feasibility check for a hardware candidate"

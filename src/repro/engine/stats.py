@@ -23,6 +23,19 @@ class Counter:
             raise ValueError("Counter.add amount must be non-negative")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's events into this one.
+
+        Equivalent to replaying every ``add`` the other counter saw;
+        the sweep orchestrator uses this to aggregate statistics gathered
+        in worker processes back into one group.
+        """
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge counter {other.name!r} into {self.name!r}"
+            )
+        self.value += other.value
+
     def reset(self) -> None:
         self.value = 0
 
@@ -62,6 +75,19 @@ class Accumulator:
             self.minimum = minimum
         if maximum > self.maximum:
             self.maximum = maximum
+
+    def merge(self, other: "Accumulator") -> None:
+        """Fold another accumulator's samples into this one.
+
+        Equivalent to replaying every sample the other accumulator saw,
+        so ``a.merge(b)`` after disjoint runs matches one accumulator
+        that observed both sample streams.
+        """
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge accumulator {other.name!r} into {self.name!r}"
+            )
+        self.add_aggregate(other.total, other.count, other.minimum, other.maximum)
 
     @property
     def mean(self) -> float:
@@ -121,6 +147,52 @@ class StatsGroup:
         path without per-beat Python calls.
         """
         self.accumulator(name).add_aggregate(total, count, minimum, maximum)
+
+    def merge(self, other: "StatsGroup") -> "StatsGroup":
+        """Fold another group's members into this one (member-wise merge).
+
+        Members missing on either side are created on demand, so merging a
+        group gathered in a worker process into a fresh parent-side group
+        reproduces exactly the statistics the worker collected.  Group
+        names need not match — a sweep aggregates same-named component
+        groups from many independently built systems.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).merge(counter)
+        for name, acc in other._accumulators.items():
+            self.accumulator(name).merge(acc)
+        return self
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe structural snapshot (for cross-process transport).
+
+        Min/max are omitted for empty accumulators (they are ±inf, which
+        plain JSON cannot carry); :meth:`from_snapshot` restores them.
+        """
+        counters = {n: c.value for n, c in sorted(self._counters.items())}
+        accumulators: Dict[str, Dict[str, float]] = {}
+        for name, acc in sorted(self._accumulators.items()):
+            entry: Dict[str, float] = {"total": acc.total, "count": acc.count}
+            if acc.count:
+                entry["min"] = acc.minimum
+                entry["max"] = acc.maximum
+            accumulators[name] = entry
+        return {"name": self.name, "counters": counters, "accumulators": accumulators}
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "StatsGroup":
+        """Rebuild a group from :meth:`snapshot` output."""
+        group = cls(str(data.get("name", "snapshot")))
+        for name, value in dict(data.get("counters", {})).items():
+            group.counter(name).add(int(value))
+        for name, entry in dict(data.get("accumulators", {})).items():
+            acc = group.accumulator(name)
+            count = int(entry.get("count", 0))
+            if count:
+                acc.add_aggregate(
+                    float(entry["total"]), count, float(entry["min"]), float(entry["max"])
+                )
+        return group
 
     def get(self, name: str) -> float:
         """Read a counter (or accumulator total) by name; 0 if absent."""

@@ -1,0 +1,75 @@
+"""Figure scenarios — the paper's structural drawings rendered from the
+live models.
+
+The figures carry no simulated numbers; their :class:`ScenarioResult`
+uses the ``text`` artifact field, and the wrapping tests assert on the
+rendered content.
+"""
+
+from __future__ import annotations
+
+from ..bitstream.busmacro import BusMacro, MacroKind
+from ..core.floorplan import (
+    render_bus_macro,
+    render_generic_architecture,
+    render_system_floorplan,
+)
+from .registry import scenario
+from .result import ScenarioResult
+from .rigs import build_rig32, build_rig64
+
+
+@scenario(
+    "fig1_generic_architecture",
+    title="Figure 1: generic platform architecture",
+    tags=("figure",),
+)
+def fig1_generic_architecture() -> ScenarioResult:
+    return ScenarioResult(
+        name="fig1_generic_architecture",
+        title="Figure 1: generic platform architecture",
+        text=render_generic_architecture(),
+    )
+
+
+@scenario(
+    "fig2_bus_macros",
+    title="Figure 2: LUT-based bus macros",
+    tags=("figure",),
+    params={"width": 2},
+)
+def fig2_bus_macros(width: int) -> ScenarioResult:
+    macro = BusMacro("figure2", MacroKind.LUT, width=width)
+    return ScenarioResult(
+        name="fig2_bus_macros",
+        title="Figure 2: LUT-based bus macros",
+        text=render_bus_macro(macro),
+    )
+
+
+@scenario(
+    "fig3_system32_floorplan",
+    title="Figure 3: 32-bit system floorplan",
+    tags=("figure", "system32"),
+)
+def fig3_system32_floorplan() -> ScenarioResult:
+    system, _ = build_rig32()
+    return ScenarioResult(
+        name="fig3_system32_floorplan",
+        title="Figure 3: 32-bit system floorplan",
+        text=render_system_floorplan(system),
+    )
+
+
+@scenario(
+    "fig4_system64_floorplan",
+    title="Figure 4: 64-bit system floorplan",
+    tags=("figure", "system64"),
+)
+def fig4_system64_floorplan() -> ScenarioResult:
+    system, _ = build_rig64()
+    return ScenarioResult(
+        name="fig4_system64_floorplan",
+        title="Figure 4: 64-bit system floorplan",
+        text=render_system_floorplan(system),
+    )

@@ -1,0 +1,165 @@
+"""Content-addressed, on-disk cache for scenario results.
+
+A scenario is pure (LINT006-enforced), so its result is fully determined
+by three inputs — and those three inputs are exactly the cache key:
+
+1. the scenario function's **source fingerprint** (SHA-256 of its source
+   text, via the registry) — editing a scenario invalidates its entries;
+2. the **resolved parameters** (canonical JSON) — every distinct
+   parameterisation caches separately (smoke and full runs never mix);
+3. the **repro package version** plus the result/cache schema numbers —
+   library changes that could shift simulated numbers are fenced by the
+   release version (see ``docs/SWEEP.md`` for the policy).
+
+Entries are versioned JSON envelopes under ``benchmarks/results/cache/``
+by default.  A corrupted or mismatched entry is deleted and treated as a
+miss — the cache can always be rebuilt from scratch, so recovery never
+raises.  Telemetry (hits/misses/stores/invalidations) feeds the sweep
+report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from .. import __version__
+from ..scenarios.registry import Scenario
+from ..scenarios.result import ScenarioResult, _canon
+from .results_io import ensure_dir
+
+#: Bump when the envelope layout changes; old entries become misses.
+CACHE_SCHEMA = 1
+
+
+def canonical_params(params: Mapping[str, object]) -> str:
+    """Stable JSON for hashing: sorted keys, tuples already canonicalised."""
+    return json.dumps({k: _canon(v) for k, v in params.items()}, sort_keys=True)
+
+
+def cache_key(scenario: Scenario, params: Mapping[str, object]) -> str:
+    """The content address of one (scenario, params) result."""
+    material = json.dumps(
+        {
+            "source": scenario.source_fingerprint(),
+            "params": json.loads(canonical_params(params)),
+            "repro_version": __version__,
+            "cache_schema": CACHE_SCHEMA,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheTelemetry:
+    """Hit/miss accounting for one sweep run."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Directory-backed content-addressed store of scenario results."""
+
+    root: Path
+    telemetry: CacheTelemetry = field(default_factory=CacheTelemetry)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- addressing --------------------------------------------------------
+    def entry_path(self, scenario: Scenario, params: Mapping[str, object]) -> Path:
+        key = cache_key(scenario, params)
+        # Scenario name in the filename keeps the directory human-navigable;
+        # the key suffix is the actual content address.
+        return self.root / f"{scenario.name}-{key[:20]}.json"
+
+    # -- read --------------------------------------------------------------
+    def load(
+        self, scenario: Scenario, params: Mapping[str, object]
+    ) -> Optional[Tuple[ScenarioResult, float]]:
+        """Cached ``(result, original_host_seconds)`` or ``None`` (miss).
+
+        Any malformed entry — unreadable file, bad JSON, schema or key
+        mismatch, unparseable result — is deleted and reported as a miss.
+        """
+        path = self.entry_path(scenario, params)
+        if not path.exists():
+            self.telemetry.misses += 1
+            return None
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if envelope.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"cache schema {envelope.get('schema')!r}")
+            if envelope.get("key") != cache_key(scenario, params):
+                raise ValueError("cache key mismatch")
+            result = ScenarioResult.from_dict(envelope["result"])
+            host_seconds = float(envelope.get("host_seconds", 0.0))
+        except Exception:
+            # Corrupted entry: drop it so the next run regenerates cleanly.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.telemetry.invalidated += 1
+            self.telemetry.misses += 1
+            return None
+        self.telemetry.hits += 1
+        return result, host_seconds
+
+    # -- write -------------------------------------------------------------
+    def store(
+        self,
+        scenario: Scenario,
+        params: Mapping[str, object],
+        result: ScenarioResult,
+        host_seconds: float,
+    ) -> Path:
+        """Persist one result; atomic enough for concurrent same-key writers
+        (both write identical bytes, last rename wins)."""
+        ensure_dir(self.root)
+        path = self.entry_path(scenario, params)
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "key": cache_key(scenario, params),
+            "scenario": scenario.name,
+            "params": json.loads(canonical_params(params)),
+            "repro_version": __version__,
+            "source_fingerprint": scenario.source_fingerprint(),
+            "host_seconds": host_seconds,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(envelope, indent=2, sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+        self.telemetry.stores += 1
+        return path
+
+    # -- maintenance -------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.root.exists():
+            return 0
+        removed = 0
+        for entry in self.root.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,83 @@
+"""The machine-readable sweep report (``BENCH_sweep.json``).
+
+One merged document per orchestrated run: per-scenario host cost, cache
+status and simulated headline numbers, sweep-level cache telemetry, and
+the cross-process aggregate statistics.  Schema identifier:
+``repro-sweep/1`` — consumers (CI, plotting) should key on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .. import __version__
+from .results_io import write_json
+from .runner import SweepOutcome
+
+#: Stable schema identifier for the report document.
+REPORT_SCHEMA = "repro-sweep/1"
+
+
+def build_report(
+    outcome: SweepOutcome, cache_dir: Optional[str] = None
+) -> Dict[str, object]:
+    """Assemble the report dict for one sweep outcome."""
+    scenarios = []
+    for entry in outcome.outcomes:
+        record: Dict[str, object] = {
+            "name": entry.name,
+            "tags": list(entry.tags),
+            "status": entry.status,
+            "cache": entry.cache,
+            "host_seconds": round(entry.host_seconds, 6),
+            "compute_seconds": round(entry.compute_seconds, 6),
+        }
+        if entry.retried_serially:
+            record["retried_serially"] = True
+        if entry.error is not None:
+            record["error"] = entry.error
+        if entry.result is not None:
+            record["title"] = entry.result.title
+            record["headline"] = dict(entry.result.headline)
+            record["headers"] = list(entry.result.headers)
+            record["rows"] = [list(row) for row in entry.result.rows]
+        scenarios.append(record)
+
+    aggregate = {
+        name: group.snapshot() for name, group in sorted(outcome.merged_stats().items())
+    }
+    cold_seconds = sum(e.compute_seconds for e in outcome.outcomes)
+    report: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "repro_version": __version__,
+        "jobs": outcome.jobs,
+        "smoke": outcome.smoke,
+        "seed_base": outcome.seed_base,
+        "ok": outcome.ok,
+        "host_seconds": round(outcome.host_seconds, 6),
+        #: What the same set cost (or would cost) computed cold and serially.
+        "serial_compute_seconds": round(cold_seconds, 6),
+        "cache": {
+            "enabled": outcome.cache_enabled,
+            "dir": cache_dir,
+            **outcome.cache_stats,
+        },
+        "pool_broken": outcome.pool_broken,
+        "scenarios": scenarios,
+        "aggregate_stats": aggregate,
+    }
+    return report
+
+
+def render_report(outcome: SweepOutcome, cache_dir: Optional[str] = None) -> str:
+    return json.dumps(build_report(outcome, cache_dir=cache_dir), indent=2, sort_keys=True)
+
+
+def write_report(
+    outcome: SweepOutcome, path: str, cache_dir: Optional[str] = None
+) -> str:
+    """Render and write the report; returns the JSON text."""
+    payload = render_report(outcome, cache_dir=cache_dir)
+    write_json(path, payload + "\n")
+    return payload

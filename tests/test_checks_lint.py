@@ -211,6 +211,136 @@ def test_lint005_env_var_literal_inside_fastpath_module_is_clean():
     assert found == []
 
 
+# -- LINT006: scenario purity ------------------------------------------------
+
+def test_lint006_wall_clock_in_scenario():
+    found = lint(
+        """
+        import time
+        from repro.scenarios import scenario
+
+        @scenario("bad_clock")
+        def bad_clock():
+            started = time.time()
+            return started
+        """
+    )
+    # LINT001 also fires (wall clock anywhere); LINT006 adds scenario context.
+    assert "LINT006" in ids(found)
+    assert "LINT001" in ids(found)
+
+
+def test_lint006_global_statement_in_scenario():
+    found = lint(
+        """
+        from repro.scenarios import scenario
+
+        COUNTER = 0
+
+        @scenario("bad_global")
+        def bad_global():
+            global COUNTER
+            COUNTER = COUNTER + 1
+            return COUNTER
+        """
+    )
+    assert ids(found) == {"LINT006"}
+
+
+def test_lint006_mutating_module_level_list():
+    found = lint(
+        """
+        from repro.scenarios import scenario
+
+        RESULTS = []
+
+        @scenario("bad_mutation")
+        def bad_mutation():
+            RESULTS.append(1)
+            return RESULTS
+        """
+    )
+    assert ids(found) == {"LINT006"}
+
+
+def test_lint006_subscript_write_into_module_level_dict():
+    found = lint(
+        """
+        from repro.scenarios import scenario
+
+        MEMO = {}
+
+        @scenario("bad_memo")
+        def bad_memo(n):
+            MEMO[n] = n * 2
+            return MEMO[n]
+        """
+    )
+    assert ids(found) == {"LINT006"}
+
+
+def test_lint006_attribute_write_into_imported_module():
+    found = lint(
+        """
+        import somepkg
+        from repro.scenarios import scenario
+
+        @scenario("bad_attr")
+        def bad_attr():
+            somepkg.state = 3
+            return 3
+        """
+    )
+    assert ids(found) == {"LINT006"}
+
+
+def test_lint006_local_state_and_reads_are_clean():
+    found = lint(
+        """
+        from repro.scenarios import scenario
+
+        SIZES = (16, 64)
+
+        @scenario("good", params={"n": 4})
+        def good(n):
+            rows = []
+            for size in SIZES:  # reading module constants is fine
+                rows.append([size, n * size])
+            return rows
+        """
+    )
+    assert found == []
+
+
+def test_lint006_local_shadowing_is_clean():
+    found = lint(
+        """
+        from repro.scenarios import scenario
+
+        rows = []
+
+        @scenario("shadowed")
+        def shadowed():
+            rows = []
+            rows.append(1)  # the local, not the module-level binding
+            return rows
+        """
+    )
+    assert found == []
+
+
+def test_lint006_undecorated_function_not_held_to_purity():
+    found = lint(
+        """
+        RESULTS = []
+
+        def helper():
+            RESULTS.append(1)
+        """
+    )
+    assert found == []
+
+
 # -- suppression comments ----------------------------------------------------
 
 def test_noqa_named_rule_suppresses():

@@ -66,3 +66,102 @@ def test_group_as_dict_sorted_members():
     g.count("alpha")
     g.record("mid", 1.0)
     assert list(g.as_dict()) == ["alpha", "zeta", "mid"]
+
+
+# -- merge (cross-process aggregation) ---------------------------------------
+
+
+def test_counter_merge_adds_values():
+    a = Counter("x", value=3)
+    b = Counter("x", value=4)
+    a.merge(b)
+    assert a.value == 7
+    assert b.value == 4  # other side untouched
+
+
+def test_counter_merge_rejects_name_mismatch():
+    with pytest.raises(ValueError):
+        Counter("x").merge(Counter("y"))
+
+
+def test_accumulator_merge_matches_replayed_samples():
+    left, right, combined = Accumulator("t"), Accumulator("t"), Accumulator("t")
+    for v in (1.0, 5.0):
+        left.add(v)
+        combined.add(v)
+    for v in (0.5, 2.0, 9.0):
+        right.add(v)
+        combined.add(v)
+    left.merge(right)
+    assert left.total == combined.total
+    assert left.count == combined.count
+    assert left.minimum == combined.minimum
+    assert left.maximum == combined.maximum
+
+
+def test_accumulator_merge_empty_other_is_noop():
+    a = Accumulator("t")
+    a.add(2.0)
+    a.merge(Accumulator("t"))
+    assert a.count == 1
+    assert a.minimum == 2.0
+
+
+def test_accumulator_merge_rejects_name_mismatch():
+    with pytest.raises(ValueError):
+        Accumulator("t").merge(Accumulator("u"))
+
+
+def test_group_merge_member_wise():
+    a = StatsGroup("bus")
+    a.count("reads", 2)
+    a.record("busy", 10.0)
+    b = StatsGroup("bus")
+    b.count("reads", 3)
+    b.count("writes", 1)
+    b.record("busy", 4.0)
+    b.record("stall", 7.0)
+    a.merge(b)
+    assert a.get("reads") == 5
+    assert a.get("writes") == 1
+    assert a.get("busy") == 14.0
+    assert a.get("stall") == 7.0
+    assert a.accumulator("busy").minimum == 4.0
+
+
+def test_group_merge_returns_self_for_chaining():
+    a = StatsGroup("g")
+    assert a.merge(StatsGroup("g")) is a
+
+
+def test_group_snapshot_round_trip():
+    g = StatsGroup("dock")
+    g.count("words", 8)
+    g.record("beat_ps", 120.0)
+    g.record("beat_ps", 80.0)
+    g.accumulator("empty")  # exists but never sampled
+    snap = g.snapshot()
+    # The snapshot must be plain JSON (no ±inf for the empty accumulator).
+    import json
+
+    restored = StatsGroup.from_snapshot(json.loads(json.dumps(snap)))
+    assert restored.name == "dock"
+    assert restored.get("words") == 8
+    assert restored.accumulator("beat_ps").count == 2
+    assert restored.accumulator("beat_ps").minimum == 80.0
+    assert restored.accumulator("empty").count == 0
+    assert restored.as_dict() == g.as_dict()
+
+
+def test_group_snapshot_merge_equals_direct_merge():
+    a = StatsGroup("plb")
+    a.count("grants", 5)
+    a.record("tenure", 3.0)
+    b = StatsGroup("plb")
+    b.count("grants", 2)
+    b.record("tenure", 11.0)
+    via_snapshot = StatsGroup.from_snapshot(a.snapshot()).merge(
+        StatsGroup.from_snapshot(b.snapshot())
+    )
+    a.merge(b)
+    assert via_snapshot.as_dict() == a.as_dict()

@@ -1,0 +1,117 @@
+"""Content-addressed result cache: hits, invalidation, recovery.
+
+The cache key is (scenario source fingerprint, canonical params, repro
+version, schema) — these tests pin down each invalidation axis plus the
+corrupted-entry recovery path (a bad entry must become a miss, never an
+exception).
+"""
+
+import json
+
+from repro.scenarios import ScenarioResult
+from repro.scenarios.registry import Scenario
+from repro.sweep import ResultCache, cache_key, canonical_params
+
+
+# Module-level so inspect.getsource works: two versions of "the same"
+# scenario body, as if the function had been edited between runs.
+def _body_v1(n):
+    return ScenarioResult(name="edited", headers=["n"], rows=[[n]])
+
+
+def _body_v2(n):
+    return ScenarioResult(name="edited", headers=["n"], rows=[[n * 2]])
+
+
+def _scenario(fn=_body_v1, name="cached"):
+    return Scenario(name=name, fn=fn, title=name, params={"n": 3})
+
+
+def _result(rows):
+    return ScenarioResult(name="cached", title="Cached", headers=["n"], rows=rows)
+
+
+def test_miss_then_store_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    entry = _scenario()
+    params = {"n": 3}
+
+    assert cache.load(entry, params) is None
+    cache.store(entry, params, _result([[3]]), host_seconds=1.25)
+    found = cache.load(entry, params)
+    assert found is not None
+    result, cold_seconds = found
+    assert result == _result([[3]])
+    assert cold_seconds == 1.25
+    stats = cache.telemetry.as_dict()
+    assert stats == {"hits": 1, "misses": 1, "stores": 1, "invalidated": 0}
+
+
+def test_params_change_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    entry = _scenario()
+    cache.store(entry, {"n": 3}, _result([[3]]), host_seconds=0.1)
+    assert cache.load(entry, {"n": 4}) is None
+    assert cache.load(entry, {"n": 3}) is not None
+    assert cache_key(entry, {"n": 3}) != cache_key(entry, {"n": 4})
+
+
+def test_source_edit_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    before = _scenario(_body_v1)
+    after = _scenario(_body_v2)
+    assert before.source_fingerprint() != after.source_fingerprint()
+    cache.store(before, {"n": 3}, _result([[3]]), host_seconds=0.1)
+    assert cache.load(after, {"n": 3}) is None
+    # The stale entry for the old source is untouched (GC is `clear()`).
+    assert cache.load(before, {"n": 3}) is not None
+
+
+def test_corrupted_entry_recovers_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    entry = _scenario()
+    params = {"n": 3}
+    path = cache.store(entry, params, _result([[3]]), host_seconds=0.1)
+
+    path.write_text("{ not json", encoding="utf-8")
+    assert cache.load(entry, params) is None
+    assert not path.exists()  # dropped so the next run regenerates
+    assert cache.telemetry.invalidated == 1
+
+    # The cache still works after recovery.
+    cache.store(entry, params, _result([[3]]), host_seconds=0.1)
+    assert cache.load(entry, params) is not None
+
+
+def test_stale_schema_is_invalidated(tmp_path):
+    cache = ResultCache(tmp_path)
+    entry = _scenario()
+    params = {"n": 3}
+    path = cache.store(entry, params, _result([[3]]), host_seconds=0.1)
+
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    envelope["schema"] = 999
+    path.write_text(json.dumps(envelope), encoding="utf-8")
+    assert cache.load(entry, params) is None
+    assert cache.telemetry.invalidated == 1
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store(_scenario(), {"n": 3}, _result([[3]]), host_seconds=0.1)
+    cache.store(_scenario(name="other"), {"n": 3}, _result([[3]]), host_seconds=0.1)
+    assert cache.clear() == 2
+    assert cache.load(_scenario(), {"n": 3}) is None
+
+
+def test_canonical_params_is_order_independent():
+    assert canonical_params({"b": 2, "a": (1, 2)}) == canonical_params(
+        {"a": [1, 2], "b": 2}
+    )
+
+
+def test_entry_path_is_human_navigable(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.entry_path(_scenario(), {"n": 3})
+    assert path.name.startswith("cached-")
+    assert path.suffix == ".json"

@@ -1,0 +1,105 @@
+"""``repro sweep`` CLI: listing, filtered runs, report emission, caching.
+
+Exercises the same entry point CI's sweep job uses (``main`` with argv),
+against cheap scenarios and tmp-path cache/report locations.
+"""
+
+import json
+
+import pytest
+
+from repro.sweep.cli import main
+from repro.sweep.report import REPORT_SCHEMA
+
+CHEAP = ["fig1_generic_architecture", "fig2_bus_macros"]
+
+
+def _run(tmp_path, *extra):
+    out = tmp_path / "BENCH_sweep.json"
+    argv = [
+        *CHEAP,
+        "--jobs", "1",
+        "--smoke",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--out", str(out),
+        *extra,
+    ]
+    return main(argv), out
+
+
+# -- listing ------------------------------------------------------------------
+
+def test_list_prints_registry(capsys):
+    assert main(["list"]) == 0
+    captured = capsys.readouterr().out
+    assert "table03_patmatch32" in captured
+    assert "ablation_boot" in captured
+    assert "scenario(s)" in captured
+
+
+def test_list_json_with_tag_filter(capsys):
+    assert main(["list", "--tag", "figure", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert {e["name"] for e in entries} >= set(CHEAP)
+    assert all("figure" in e["tags"] for e in entries)
+
+
+def test_list_flag_is_equivalent(capsys):
+    assert main(["--list", "--tag", "figure"]) == 0
+    assert "fig1_generic_architecture" in capsys.readouterr().out
+
+
+# -- running ------------------------------------------------------------------
+
+def test_run_writes_schema_tagged_report(tmp_path, capsys):
+    code, out = _run(tmp_path, "--json")
+    assert code == 0
+    report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["ok"] is True
+    assert report["smoke"] is True
+    assert [s["name"] for s in report["scenarios"]] == CHEAP
+    assert all(s["cache"] == "miss" for s in report["scenarios"])
+    # --json keeps stdout pure machine-readable (the report itself).
+    stdout = capsys.readouterr().out
+    assert json.loads(stdout)["schema"] == REPORT_SCHEMA
+
+
+def test_warm_rerun_hits_the_cache(tmp_path, capsys):
+    _run(tmp_path, "--json")
+    code, out = _run(tmp_path, "--json")
+    assert code == 0
+    report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["cache"]["hits"] >= 1
+    assert all(s["cache"] == "hit" for s in report["scenarios"])
+    capsys.readouterr()
+
+
+def test_no_cache_disables_telemetry(tmp_path, capsys):
+    code, out = _run(tmp_path, "--no-cache", "--json")
+    assert code == 0
+    report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["cache"]["enabled"] is False
+    assert all(s["cache"] == "off" for s in report["scenarios"])
+    capsys.readouterr()
+
+
+def test_tables_flag_writes_rendered_artifacts(tmp_path, capsys):
+    tables_dir = tmp_path / "tables"
+    code, _ = _run(tmp_path, "--tables", str(tables_dir))
+    assert code == 0
+    written = {p.name for p in tables_dir.glob("*.txt")}
+    assert written == {f"{name}.txt" for name in CHEAP}
+    capsys.readouterr()
+
+
+def test_empty_selection_is_an_error(tmp_path, capsys):
+    assert main(["run", "--tag", "no-such-tag"]) == 2
+    assert "no scenarios match" in capsys.readouterr().err
+
+
+def test_unknown_scenario_name_raises():
+    from repro.scenarios import ScenarioError
+
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        main(["run", "definitely_not_registered"])
