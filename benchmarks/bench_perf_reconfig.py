@@ -1,0 +1,142 @@
+"""Host-wall-clock perf bench for the reconfiguration datapath.
+
+Times repeated load/swap/clear cycles on the 64-bit system (the
+``perf_reconfig`` scenario's workload) with the vectorized reconfiguration
+datapath on and off, verifies the two paths agree on every simulated
+observable, and writes ``benchmarks/results/perf_reconfig.json``.
+
+Run directly (report-only)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_reconfig.py
+
+or with ``--check`` to additionally enforce the >=10x fast-path speedup
+floor on the 64-bit complete-bitstream load (the reference path is the
+seed implementation's word-by-word code path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.engine import fastpath  # noqa: E402
+from repro.scenarios.rigs import build_rig64  # noqa: E402
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "perf_reconfig.json")
+
+KERNEL = "brightness"
+ALTERNATE = "lookup2"
+
+#: Phases checked/reported, with the speedup floor --check enforces.
+FLOORS = {"complete_load": 10.0}
+
+
+def _run_cycles(fast: bool, cycles: int):
+    """One timed run: returns per-phase host seconds + simulated observables."""
+    context = fastpath.forced_on() if fast else fastpath.disabled()
+    with context:
+        system, manager = build_rig64()  # rig build stays outside the timers
+        host = {"complete_load": 0.0, "differential_load": 0.0, "clear": 0.0}
+        results = []
+        for _ in range(cycles):
+            start = time.perf_counter()
+            load = manager.load(KERNEL)
+            host["complete_load"] += time.perf_counter() - start
+            start = time.perf_counter()
+            diff = manager.load(ALTERNATE, differential=True)
+            host["differential_load"] += time.perf_counter() - start
+            start = time.perf_counter()
+            clear = manager.clear()
+            host["clear"] += time.perf_counter() - start
+            results.extend([load, diff, clear])
+        observables = {
+            "now_ps": system.cpu.now_ps,
+            "results": [
+                (r.kernel_name, r.kind, r.frame_count, r.word_count, r.elapsed_ps)
+                for r in results
+            ],
+            "frames_written": system.hwicap.frames_written,
+            "crc_failures": system.hwicap.crc_failures,
+            "memory_writes": system.config_memory.writes,
+            "memory_reads": system.config_memory.reads,
+            "icap_stats": system.hwicap.stats.snapshot(),
+        }
+    return host, observables
+
+
+def run(check: bool, cycles: int) -> int:
+    fast_host, fast_obs = _run_cycles(fast=True, cycles=cycles)
+    slow_host, slow_obs = _run_cycles(fast=False, cycles=cycles)
+
+    failures = []
+    if fast_obs != slow_obs:
+        for key in fast_obs:
+            if fast_obs[key] != slow_obs[key]:
+                failures.append(
+                    f"observable {key!r} diverged between fast and reference paths"
+                )
+
+    report = {
+        "unit": "host seconds per phase",
+        "cycles": cycles,
+        "workload": f"{cycles} x (load {KERNEL}, differential {ALTERNATE}, clear) on system64",
+        "phases": [],
+        "speedups": {},
+        "simulated_total_ps": slow_obs["now_ps"],
+    }
+    for phase in ("complete_load", "differential_load", "clear"):
+        speedup = slow_host[phase] / fast_host[phase] if fast_host[phase] else float("inf")
+        report["phases"].append(
+            {
+                "phase": phase,
+                "host_s_fast": round(fast_host[phase], 6),
+                "host_s_reference": round(slow_host[phase], 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+        report["speedups"][phase] = round(speedup, 2)
+        print(
+            f"{phase:>18}: fast {fast_host[phase] * 1e3:8.2f} ms  "
+            f"reference {slow_host[phase] * 1e3:8.2f} ms  speedup {speedup:6.1f}x"
+        )
+        floor = FLOORS.get(phase)
+        if check and floor is not None and speedup < floor:
+            failures.append(f"{phase} speedup {speedup:.1f}x < {floor:.0f}x floor")
+
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the speedup floors (default: report-only)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=2,
+        help="load/swap/clear cycles per path (default: 2)",
+    )
+    args = parser.parse_args()
+    return run(check=args.check, cycles=args.cycles)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

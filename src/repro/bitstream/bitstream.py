@@ -125,9 +125,10 @@ class Bitstream:
         writer.write_command(Command.RCRC)
         writer.write_register(Register.IDCODE, [device_idcode(self.device_name)])
         writer.write_command(Command.WCFG)
-        for address, data in self.frames:
-            writer.write_register(Register.FAR, [address.packed()])
-            writer.write_register(Register.FDRI, list(int(w) for w in data))
+        # One bulk call for all FAR/FDRI pairs: the writer's vectorized path
+        # emits them as a single chunk with one CRC pass; the reference path
+        # iterates register writes word by word.  Identical streams.
+        writer.write_frames(self.frames)
         writer.write_command(Command.LFRM)
         writer.write_command(Command.START)
         return writer.finish()
@@ -141,34 +142,7 @@ class Bitstream:
         The CRC is verified during parsing.  ``kind`` defaults to
         PARTIAL_COMPLETE since the wire format does not distinguish kinds.
         """
-        from .packets import PacketReader, Register
-
-        reader = PacketReader(words)
-        idcode: int | None = None
-        current_far: FrameAddress | None = None
-        frames: List[Tuple[FrameAddress, np.ndarray]] = []
-        for packet in reader.packets():
-            if not packet.is_write:
-                continue
-            if packet.register == Register.IDCODE and packet.payload:
-                idcode = packet.payload[0]
-            elif packet.register == Register.FAR and packet.payload:
-                current_far = FrameAddress.unpacked(packet.payload[0])
-            elif packet.register == Register.FDRI:
-                if current_far is None:
-                    raise BitstreamError("FDRI write before any FAR write")
-                frames.append(
-                    (current_far, np.array(packet.payload, dtype=np.uint32))
-                )
-        if idcode is None:
-            raise BitstreamError("stream carries no IDCODE")
-        device_name = None
-        for name, code in _IDCODES.items():
-            if code == idcode:
-                device_name = name
-                break
-        if device_name is None:
-            raise BitstreamError(f"unknown IDCODE {idcode:#010x}")
+        device_name, frames = decode_frames(words)
         return cls(
             device_name=device_name,
             kind=kind or BitstreamKind.PARTIAL_COMPLETE,
@@ -181,6 +155,49 @@ class Bitstream:
             f"Bitstream[{self.kind.value}] {self.device_name}: "
             f"{self.frame_count} frames, {self.byte_size} bytes"
         )
+
+
+def _device_for_idcode(idcode: int | None) -> str:
+    if idcode is None:
+        raise BitstreamError("stream carries no IDCODE")
+    for name, code in _IDCODES.items():
+        if code == idcode:
+            return name
+    raise BitstreamError(f"unknown IDCODE {idcode:#010x}")
+
+
+def decode_frames(words: np.ndarray) -> Tuple[str, List[Tuple[FrameAddress, np.ndarray]]]:
+    """CRC-checked decode of a word stream into (device name, frame writes).
+
+    The functional core of :meth:`Bitstream.from_words`, also used by the
+    ICAP's bulk commit, which does not need a :class:`Bitstream` wrapper.
+    With the fast path enabled the stream is scanned by index arithmetic
+    and frame payloads are sliced as array views; the reference path walks
+    :meth:`PacketReader.packets` word by word.  Both verify the CRC and
+    raise identical errors.
+    """
+    from ..engine import fastpath
+    from .packets import PacketReader, Register
+
+    reader = PacketReader(words)
+    if fastpath.enabled():
+        decoded = reader.scan(far_decode=FrameAddress.unpacked)
+        return _device_for_idcode(decoded.idcode), decoded.frames
+    idcode: int | None = None
+    current_far: FrameAddress | None = None
+    frames = []
+    for packet in reader.packets():
+        if not packet.is_write:
+            continue
+        if packet.register == Register.IDCODE and packet.payload:
+            idcode = packet.payload[0]
+        elif packet.register == Register.FAR and packet.payload:
+            current_far = FrameAddress.unpacked(packet.payload[0])
+        elif packet.register == Register.FDRI:
+            if current_far is None:
+                raise BitstreamError("FDRI write before any FAR write")
+            frames.append((current_far, np.array(packet.payload, dtype=np.uint32)))
+    return _device_for_idcode(idcode), frames
 
 
 def concatenate(streams: Sequence[Bitstream]) -> Bitstream:

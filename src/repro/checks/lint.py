@@ -101,7 +101,7 @@ _WALL_CLOCK = {
 _FASTPATH_GUARDS = {"fastpath", "fast_path_active", "_fast_ok", "fast_ok"}
 
 #: Caller-side vectorized primitives that require a guard in scope.
-_FASTPATH_PRIMITIVES = {"request_burst", "access_burst"}
+_FASTPATH_PRIMITIVES = {"request_burst", "access_burst", "push_words"}
 
 #: Wrappers that coerce a float expression back to an integer.
 _INT_COERCIONS = {"int", "round", "floor", "ceil", "len", "max", "min", "divmod"}

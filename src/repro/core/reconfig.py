@@ -138,7 +138,7 @@ class ReconfigManager:
         before = ConfigMemory(self.system.device)
         before.restore(self.system.config_memory.snapshot())
 
-        elapsed = self._feed_through_icap(bitstream)
+        elapsed, word_count = self._feed_through_icap(bitstream)
         verify_ps = 0
         frames_verified = 0
         if verify:
@@ -158,7 +158,7 @@ class ReconfigManager:
             kernel_name=name,
             kind=bitstream.kind.value,
             frame_count=bitstream.frame_count,
-            word_count=bitstream.word_count,
+            word_count=word_count,
             elapsed_ps=elapsed,
             verify_ps=verify_ps,
             frames_verified=frames_verified,
@@ -189,33 +189,37 @@ class ReconfigManager:
                     f"readback mismatch at {address}: {first:#010x} != {int(expected[0]):#010x}"
                 )
             # Remaining words: charge time as a batch, compare functionally.
-            rest = self.system.hwicap._readback
-            if rest != [int(w) for w in expected[1:]]:
+            rest = self.system.hwicap.drain_readback()
+            if not np.array_equal(rest, np.asarray(expected[1:], dtype=np.uint32)):
                 raise ReconfigurationError(f"readback mismatch within {address}")
             cpu.io_read_batch(base + 0x4, words_per_frame - 1)  # STATUS-priced reads
-            self.system.hwicap._readback = []
             checked += 1
         return cpu.now_ps - start, checked
 
     def clear(self) -> ReconfigResult:
         """Blank the dynamic region (complete partial bitstream of zeros)."""
         bitstream = self.bitlinker.clear_bitstream()
-        elapsed = self._feed_through_icap(bitstream)
+        elapsed, word_count = self._feed_through_icap(bitstream)
         self.dock.detach_kernel()
         self.active = None
         result = ReconfigResult(
             kernel_name="<clear>",
             kind=bitstream.kind.value,
             frame_count=bitstream.frame_count,
-            word_count=bitstream.word_count,
+            word_count=word_count,
             elapsed_ps=elapsed,
         )
         self.history.append(result)
         return result
 
     # -- timing ---------------------------------------------------------------
-    def _feed_through_icap(self, bitstream: Bitstream) -> int:
-        """Charge the word-by-word HWICAP feed; deliver the words functionally."""
+    def _feed_through_icap(self, bitstream: Bitstream) -> Tuple[int, int]:
+        """Charge the word-by-word HWICAP feed; deliver the words functionally.
+
+        Returns ``(elapsed_ps, word_count)`` — the stream is serialised
+        exactly once here, so callers must not re-derive the size through
+        ``bitstream.word_count`` (which would serialise again).
+        """
         words = bitstream.to_words()
         cpu = self.system.cpu
         start = cpu.now_ps
@@ -232,4 +236,4 @@ class ReconfigManager:
             # Per-word loop overhead (pointer, compare, branch).
             cpu.execute_cycles(4 * len(words))
         self.system.hwicap.load_words(words)
-        return cpu.now_ps - start
+        return cpu.now_ps - start, len(words)

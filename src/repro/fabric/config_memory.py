@@ -5,11 +5,23 @@ controller writes frames here; :class:`ConfigMemory` also supports
 snapshot/diff, which is how *differential* partial bitstreams are derived
 and how tests verify that reconfiguring the dynamic area leaves static
 frames untouched.
+
+Storage is one contiguous ``(total_frames, words_per_frame)`` uint32 array
+plus a written-mask, with :class:`~repro.fabric.frames.FrameGeometry`
+providing the FAR-order address-to-row mapping.  ``snapshot``/``restore``
+are single array copies and ``diff`` is a vectorized row comparison, which
+is what makes repeated reconfiguration cycles cheap at XC2VP30 scale.  The
+historical dict-facing API is preserved: :meth:`snapshot` returns a
+:class:`ConfigSnapshot`, a read-only mapping of ``FrameAddress -> frame``
+that only exposes written frames, exactly like the dict it replaces.
+Addresses outside the device's frame catalogue (e.g. synthetic test
+addresses) fall back to a small dict side-store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Tuple
+from collections.abc import Mapping as MappingABC
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -18,13 +30,69 @@ from .device import DeviceSpec
 from .frames import FrameAddress, FrameGeometry
 
 
+class ConfigSnapshot(MappingABC):
+    """Immutable-ish array-backed copy of a :class:`ConfigMemory`.
+
+    Behaves like the ``{address: frame}`` dict older code expects (only
+    *written* frames are members), while bulk consumers (BitLinker, diff,
+    restore) use the underlying arrays directly.
+    """
+
+    __slots__ = ("geometry", "_data", "_written", "_extra")
+
+    def __init__(
+        self,
+        geometry: FrameGeometry,
+        data: np.ndarray,
+        written: np.ndarray,
+        extra: Dict[FrameAddress, np.ndarray],
+    ) -> None:
+        self.geometry = geometry
+        self._data = data
+        self._written = written
+        self._extra = extra
+
+    def __getitem__(self, address: FrameAddress) -> np.ndarray:
+        row = self.geometry.frame_index(address)
+        if row is None:
+            if address in self._extra:
+                return self._extra[address].copy()
+            raise KeyError(address)
+        if not self._written[row]:
+            raise KeyError(address)
+        return self._data[row].copy()
+
+    def __iter__(self) -> Iterator[FrameAddress]:
+        order = self.geometry.frame_order()
+        for row in np.flatnonzero(self._written):
+            yield order[row]
+        yield from self._extra
+
+    def __len__(self) -> int:
+        return int(self._written.sum()) + len(self._extra)
+
+    # -- bulk access (fast paths) ----------------------------------------
+    def rows_for(self, addresses: Sequence[FrameAddress]) -> np.ndarray:
+        """Stacked ``(len(addresses), words_per_frame)`` copy of frames.
+
+        Unwritten frames come back as zeros, matching ``get(addr, empty)``
+        over the mapping interface.
+        """
+        rows = self.geometry.frame_rows(addresses)
+        return self._data[rows]
+
+
 class ConfigMemory:
     """Frame-addressed configuration store for one device."""
 
     def __init__(self, device: DeviceSpec) -> None:
         self.device = device
         self.geometry = FrameGeometry(device)
-        self._frames: Dict[FrameAddress, np.ndarray] = {}
+        shape = (device.total_frames, self.geometry.words_per_frame)
+        self._data = np.zeros(shape, dtype=np.uint32)
+        self._written = np.zeros(device.total_frames, dtype=bool)
+        #: Frames addressed outside the device catalogue (rare; tests).
+        self._extra: Dict[FrameAddress, np.ndarray] = {}
         #: number of frame-write operations performed (ICAP statistics)
         self.writes = 0
         self.reads = 0
@@ -36,10 +104,13 @@ class ConfigMemory:
         A *copy* is returned; mutating it does not change the memory.
         """
         self.reads += 1
-        frame = self._frames.get(address)
-        if frame is None:
-            return self.geometry.empty_frame()
-        return frame.copy()
+        row = self.geometry.frame_index(address)
+        if row is None:
+            frame = self._extra.get(address)
+            if frame is None:
+                return self.geometry.empty_frame()
+            return frame.copy()
+        return self._data[row].copy()
 
     def write_frame(self, address: FrameAddress, data: np.ndarray) -> None:
         """Replace a frame's contents."""
@@ -50,7 +121,40 @@ class ConfigMemory:
                 f"expected ({self.geometry.words_per_frame},)"
             )
         self.writes += 1
-        self._frames[address] = data.copy()
+        row = self.geometry.frame_index(address)
+        if row is None:
+            self._extra[address] = data.copy()
+        else:
+            self._data[row] = data
+            self._written[row] = True
+
+    def write_frames(self, frames: Sequence[Tuple[FrameAddress, np.ndarray]]) -> None:
+        """Bulk frame write: one fancy-indexed assignment for the lot.
+
+        Equivalent to calling :meth:`write_frame` per entry (last write to
+        a repeated address wins, counters advance by ``len(frames)``), but
+        O(frames) numpy work instead of O(frames) Python round-trips.
+        Falls back to the scalar path when any address is uncatalogued.
+        """
+        if not frames:
+            return
+        expected = self.geometry.words_per_frame
+        for address, data in frames:
+            if len(data) != expected:
+                raise BitstreamError(
+                    f"frame data for {address} has ({len(data)},) words; "
+                    f"expected ({expected},)"
+                )
+        try:
+            rows = self.geometry.frame_rows([address for address, _ in frames])
+        except BitstreamError:
+            for address, data in frames:
+                self.write_frame(address, data)
+            return
+        block = np.stack([np.asarray(data, dtype=np.uint32) for _, data in frames])
+        self._data[rows] = block
+        self._written[rows] = True
+        self.writes += len(frames)
 
     def merge_frame(self, address: FrameAddress, data: np.ndarray, mask: np.ndarray) -> None:
         """Write only the bits selected by ``mask``, keeping the rest.
@@ -65,17 +169,61 @@ class ConfigMemory:
         self.write_frame(address, merged)
 
     # -- bulk helpers ----------------------------------------------------
+    def rows_for(self, addresses: Sequence[FrameAddress]) -> np.ndarray:
+        """Stacked copy of ``addresses``' frames (zeros when unwritten).
+
+        Counts one read per frame, mirroring a :meth:`read_frame` loop.
+        """
+        rows = self.geometry.frame_rows(addresses)
+        self.reads += len(addresses)
+        return self._data[rows]
+
+    def has_extra_frames(self) -> bool:
+        """True when any frame outside the device catalogue was written."""
+        return bool(self._extra)
+
+    def written_mask(self) -> np.ndarray:
+        """Boolean per-row written flags (read-only view; catalogued rows)."""
+        return self._written
+
+    def data_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Stacked copy of the given catalogued rows, *without* touching the
+        read counters — bulk consumers that mirror a reference loop's
+        accounting (e.g. the static-preservation check) add the counts
+        explicitly."""
+        return self._data[rows]
+
     def frames_equal(self, address: FrameAddress, other: "ConfigMemory") -> bool:
         """True when both memories hold identical data for ``address``."""
         return bool(np.array_equal(self.read_frame(address), other.read_frame(address)))
 
-    def snapshot(self) -> Mapping[FrameAddress, np.ndarray]:
-        """Immutable-ish copy of all written frames."""
-        return {addr: frame.copy() for addr, frame in self._frames.items()}
+    def snapshot(self) -> ConfigSnapshot:
+        """Immutable-ish copy of all written frames (single array copy)."""
+        return ConfigSnapshot(
+            self.geometry,
+            self._data.copy(),
+            self._written.copy(),
+            {addr: frame.copy() for addr, frame in self._extra.items()},
+        )
 
     def restore(self, snapshot: Mapping[FrameAddress, np.ndarray]) -> None:
         """Reset the memory to a previous :meth:`snapshot`."""
-        self._frames = {addr: np.array(frame, dtype=np.uint32) for addr, frame in snapshot.items()}
+        if isinstance(snapshot, ConfigSnapshot) and snapshot.geometry.device is self.device:
+            self._data = snapshot._data.copy()
+            self._written = snapshot._written.copy()
+            self._extra = {addr: frame.copy() for addr, frame in snapshot._extra.items()}
+            return
+        self._data = np.zeros_like(self._data)
+        self._written = np.zeros_like(self._written)
+        self._extra = {}
+        for address, data in snapshot.items():
+            data = np.asarray(data, dtype=np.uint32)
+            row = self.geometry.frame_index(address)
+            if row is None:
+                self._extra[address] = data.copy()
+            else:
+                self._data[row] = data
+                self._written[row] = True
 
     def diff(
         self, baseline: Mapping[FrameAddress, np.ndarray]
@@ -85,17 +233,43 @@ class ConfigMemory:
         This is the content of a *differential* partial bitstream relative
         to the baseline configuration.
         """
+        if (
+            isinstance(baseline, ConfigSnapshot)
+            and baseline.geometry.device is self.device
+            and not self._extra
+            and not baseline._extra
+        ):
+            # Catalogued rows sit in FAR order, which is sorted order, so a
+            # row-wise comparison yields addresses exactly as the dict-based
+            # reference loop did.
+            order = self.geometry.frame_order()
+            changed = np.flatnonzero((self._data != baseline._data).any(axis=1))
+            for row in changed:
+                yield order[row], self._data[row].copy()
+            return
         empty = self.geometry.empty_frame()
-        addresses = set(self._frames) | set(baseline)
+        mine_map = dict(self.items_view())
+        addresses = set(mine_map) | set(baseline)
         for address in sorted(addresses):
-            mine = self._frames.get(address, empty)
+            mine = mine_map.get(address, empty)
             theirs = baseline.get(address, empty)
             if not np.array_equal(mine, theirs):
                 yield address, mine.copy()
 
+    def items_view(self) -> Iterator[Tuple[FrameAddress, np.ndarray]]:
+        """(address, live frame view) pairs for all written frames."""
+        order = self.geometry.frame_order()
+        for row in np.flatnonzero(self._written):
+            yield order[row], self._data[row]
+        yield from self._extra.items()
+
     def written_addresses(self) -> Iterable[FrameAddress]:
         """Addresses of frames that have been written at least once."""
-        return sorted(self._frames)
+        order = self.geometry.frame_order()
+        catalogued: List[FrameAddress] = [order[row] for row in np.flatnonzero(self._written)]
+        if not self._extra:
+            return catalogued
+        return sorted(catalogued + list(self._extra))
 
     def __len__(self) -> int:
-        return len(self._frames)
+        return int(self._written.sum()) + len(self._extra)

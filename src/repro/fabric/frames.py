@@ -18,12 +18,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import BitstreamError
 from .device import DeviceSpec
+
+#: Per-device-name cache of (frame order, address -> row index).  Devices are
+#: catalogued constants, so the FAR enumeration is identical for every
+#: FrameGeometry instance built against the same device.
+_FRAME_ORDER_CACHE: Dict[str, Tuple[Tuple["FrameAddress", ...], Dict["FrameAddress", int]]] = {}
+
+#: FAR word -> FrameAddress memo (instances are frozen, so sharing is safe).
+_UNPACK_CACHE: Dict[int, "FrameAddress"] = {}
 
 
 class BlockType(enum.IntEnum):
@@ -55,8 +63,12 @@ class FrameAddress:
     @classmethod
     def unpacked(cls, word: int) -> "FrameAddress":
         """Inverse of :meth:`packed`."""
-        block = BlockType((word >> 24) & 0x3)
-        return cls(block=block, major=(word >> 8) & 0xFFFF, minor=word & 0xFF)
+        cached = _UNPACK_CACHE.get(word)
+        if cached is None:
+            block = BlockType((word >> 24) & 0x3)
+            cached = cls(block=block, major=(word >> 8) & 0xFFFF, minor=word & 0xFF)
+            _UNPACK_CACHE[word] = cached
+        return cached
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.block.name}[{self.major}].{self.minor}"
@@ -76,6 +88,7 @@ class FrameGeometry:
         self._bram_major_by_col = {
             column.col: major for major, column in enumerate(device.bram_columns)
         }
+        self._row_mask_cache: Dict[Tuple[int, int], np.ndarray] = {}
 
     # -- enumeration --------------------------------------------------------
     def clb_column_frames(self, col: int) -> List[FrameAddress]:
@@ -135,6 +148,44 @@ class FrameGeometry:
         """Total frames (must agree with the device spec)."""
         return self.device.total_frames
 
+    # -- dense row indexing ---------------------------------------------------
+    def _order_and_index(self) -> Tuple[Tuple[FrameAddress, ...], Dict[FrameAddress, int]]:
+        cached = _FRAME_ORDER_CACHE.get(self.device.name)
+        if cached is None:
+            order = tuple(self.all_frames())
+            cached = (order, {address: row for row, address in enumerate(order)})
+            _FRAME_ORDER_CACHE[self.device.name] = cached
+        return cached
+
+    def frame_order(self) -> Tuple[FrameAddress, ...]:
+        """Every frame of the device as a tuple, in FAR (= sorted) order.
+
+        The position of an address in this tuple is its *row index* in the
+        array-backed :class:`~repro.fabric.config_memory.ConfigMemory`.
+        """
+        return self._order_and_index()[0]
+
+    def frame_index(self, address: FrameAddress) -> Optional[int]:
+        """Dense row index of ``address``, or ``None`` if it is outside the
+        device's frame catalogue (e.g. a garbage FAR value)."""
+        return self._order_and_index()[1].get(address)
+
+    def frame_rows(self, addresses: Sequence[FrameAddress]) -> np.ndarray:
+        """Row indices for a sequence of catalogued addresses.
+
+        Raises :class:`BitstreamError` when any address is unknown — bulk
+        paths fall back to the scalar API for out-of-catalogue frames.
+        """
+        index = self._order_and_index()[1]
+        try:
+            return np.fromiter(
+                (index[a] for a in addresses), dtype=np.intp, count=len(addresses)
+            )
+        except KeyError as err:
+            raise BitstreamError(
+                f"frame address {err.args[0]} outside {self.device.name}"
+            ) from None
+
     # -- intra-frame row mapping ----------------------------------------------
     def row_bit_span(self, row: int) -> tuple[int, int]:
         """Bit range [lo, hi) of one CLB row inside a frame."""
@@ -154,16 +205,32 @@ class FrameGeometry:
         """
         if not (0 <= row0 <= row1 <= self.device.clb_rows):
             raise BitstreamError(f"row range [{row0},{row1}) outside {self.device.name}")
-        bits = self.device.bits_per_frame_row
-        lo = row0 * bits
-        hi = row1 * bits
-        if lo >= hi:
-            return np.zeros(self.words_per_frame, dtype=np.uint32)
-        bit_index = np.arange(self.words_per_frame * 32, dtype=np.int64)
-        selected = (bit_index >= lo) & (bit_index < hi)
-        weights = (np.uint64(1) << (bit_index % 32).astype(np.uint64)) * selected.astype(np.uint64)
-        mask = weights.reshape(self.words_per_frame, 32).sum(axis=1, dtype=np.uint64)
-        return mask.astype(np.uint32)
+        return self.row_mask_cached(row0, row1).copy()
+
+    def row_mask_cached(self, row0: int, row1: int) -> np.ndarray:
+        """Memoised :meth:`row_mask` buffer — treat the result as read-only.
+
+        BitLinker and the static-preservation check ask for the same region
+        mask once per frame; computing it is O(words_per_frame * 32), so the
+        cache is what keeps the per-frame reference loops honest.
+        """
+        mask = self._row_mask_cache.get((row0, row1))
+        if mask is None:
+            bits = self.device.bits_per_frame_row
+            lo = row0 * bits
+            hi = row1 * bits
+            if lo >= hi:
+                mask = np.zeros(self.words_per_frame, dtype=np.uint32)
+            else:
+                bit_index = np.arange(self.words_per_frame * 32, dtype=np.int64)
+                selected = (bit_index >= lo) & (bit_index < hi)
+                weights = (np.uint64(1) << (bit_index % 32).astype(np.uint64)) * selected.astype(
+                    np.uint64
+                )
+                mask = weights.reshape(self.words_per_frame, 32).sum(axis=1, dtype=np.uint64)
+                mask = mask.astype(np.uint32)
+            self._row_mask_cache[(row0, row1)] = mask
+        return mask
 
     def empty_frame(self) -> np.ndarray:
         """A zeroed frame buffer."""

@@ -1,0 +1,86 @@
+"""Reconfiguration-datapath perf scenario.
+
+Registered like every other scenario (pure, deterministic, cacheable): it
+reports the *simulated* cost and traffic of repeated load/clear cycles on
+the 64-bit system — the workload the host-time benchmark
+``benchmarks/bench_perf_reconfig.py`` times with the vectorized fast path
+on and off.  Keeping the workload definition here means the benchmark, the
+sweep and the equivalence suite all drive the identical cycle sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .registry import scenario
+from .result import ScenarioResult, system_stats
+from .rigs import build_rig64
+
+
+def run_reconfig_cycles(manager, cycles: int, kernel: str, alternate: str):
+    """Drive ``cycles`` x (complete load, differential swap, clear).
+
+    Returns the per-phase :class:`~repro.core.reconfig.ReconfigResult`
+    lists ``(loads, differentials, clears)``.  Shared by the scenario below
+    and by the host-time benchmark so both measure the same datapath.
+    """
+    loads, differentials, clears = [], [], []
+    for _ in range(cycles):
+        loads.append(manager.load(kernel))
+        differentials.append(manager.load(alternate, differential=True))
+        clears.append(manager.clear())
+    return loads, differentials, clears
+
+
+@scenario(
+    "perf_reconfig",
+    title="Reconfiguration datapath: repeated load/swap/clear cycles",
+    tags=("perf", "reconfig", "bitstream", "system64"),
+    params={"cycles": 3, "kernel": "brightness", "alternate": "lookup2"},
+    smoke_params={"cycles": 1},
+)
+def perf_reconfig(cycles: int, kernel: str, alternate: str) -> ScenarioResult:
+    system, manager = build_rig64()
+    loads, differentials, clears = run_reconfig_cycles(manager, cycles, kernel, alternate)
+    rows: List[List[object]] = []
+    for index, (load, diff, clear) in enumerate(zip(loads, differentials, clears)):
+        rows.append(
+            [
+                index,
+                load.word_count,
+                load.elapsed_ps / 1e9,
+                diff.word_count,
+                diff.elapsed_ps / 1e9,
+                clear.word_count,
+                clear.elapsed_ps / 1e9,
+            ]
+        )
+    total_ps = sum(r.elapsed_ps for r in loads + differentials + clears)
+    return ScenarioResult(
+        name="perf_reconfig",
+        title=f"Reconfiguration datapath: {cycles} load/swap/clear cycles (64-bit system)",
+        headers=[
+            "cycle",
+            "complete words",
+            "complete (ms)",
+            "differential words",
+            "differential (ms)",
+            "clear words",
+            "clear (ms)",
+        ],
+        rows=rows,
+        headline={
+            "complete_words": loads[-1].word_count,
+            "differential_words": differentials[-1].word_count,
+            "clear_words": clears[-1].word_count,
+            "complete_ps": loads[-1].elapsed_ps,
+            "differential_ps": differentials[-1].elapsed_ps,
+            "clear_ps": clears[-1].elapsed_ps,
+            "total_ps": total_ps,
+            "frames_written": system.hwicap.frames_written,
+            "crc_failures": system.hwicap.crc_failures,
+            "memory_writes": system.config_memory.writes,
+            "memory_reads": system.config_memory.reads,
+        },
+        stats=system_stats(system),
+    )

@@ -94,4 +94,4 @@ def test_write_wait_states(icap):
         Transaction(Op.WRITE, 0x9000_0000 + REG_DATA, data=0xAA995566), 0
     )
     assert wait == OpbHwIcap.WRITE_WAIT
-    controller._words.clear()
+    controller.reset()
