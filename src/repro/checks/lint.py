@@ -23,6 +23,11 @@ module.  The rules encode the modelling contract documented in
   params, version); wall-clock reads, ``global`` state, or mutation of
   module-level objects would make identical keys yield different
   results, so none may appear in a scenario body.
+* **LINT007** — no swallowed broad excepts.  A ``except Exception``/
+  ``except BaseException``/bare ``except:`` handler that never re-raises
+  hides programming errors (the fault-injection subsystem exists to
+  *exercise* error paths; silently eating them defeats it).  Catch the
+  specific expected errors, or re-raise.
 
 Per-line suppression: append ``# repro: noqa RULE-ID[,RULE-ID...]`` to
 silence named rules on that line, or ``# repro: noqa`` to silence all.
@@ -78,6 +83,13 @@ register_rule(
     "Registered sweep scenarios must be deterministic-pure: the result "
     "cache keys on (source, params, version) only, so wall-clock reads or "
     "module-level mutable state would make cached results wrong.",
+)
+register_rule(
+    "LINT007",
+    "swallowed-broad-except",
+    "Catching Exception/BaseException (or a bare except) without "
+    "re-raising hides programming errors behind fault-handling code; "
+    "catch the expected error types instead.",
 )
 
 #: Calls that read the host clock: root module name -> attribute names.
@@ -206,6 +218,24 @@ def _module_level_names(tree: ast.Module) -> Set[str]:
     return names
 
 
+#: Exception names considered too broad to catch-and-drop (LINT007).
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _is_broad_handler(handler_type: Optional[ast.AST]) -> bool:
+    """Is this ``except`` clause bare or catching Exception/BaseException?"""
+    if handler_type is None:
+        return True
+    candidates = handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    for candidate in candidates:
+        name = candidate.attr if isinstance(candidate, ast.Attribute) else getattr(
+            candidate, "id", None
+        )
+        if name in _BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
 def _is_scenario_decorated(node) -> bool:
     """Does the function carry the registry's ``@scenario(...)`` marker?"""
     for dec in node.decorator_list:
@@ -288,6 +318,20 @@ class _Visitor(ast.NodeVisitor):
         self.report.add(
             rule, message, file=self.path, line=getattr(node, "lineno", None), hint=hint
         )
+
+    # -- LINT007 ----------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _is_broad_handler(node.type) and not any(
+            isinstance(child, ast.Raise) for child in ast.walk(node)
+        ):
+            caught = "bare except" if node.type is None else "except Exception"
+            self._flag(
+                "LINT007",
+                node,
+                f"{caught} handler swallows the error (no raise in its body)",
+                hint="catch the specific expected errors, or re-raise",
+            )
+        self.generic_visit(node)
 
     # -- LINT003 ----------------------------------------------------------
     def visit_Assert(self, node: ast.Assert) -> None:

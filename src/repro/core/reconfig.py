@@ -14,21 +14,34 @@ Orchestrates the full swap of a dynamic-area module:
 The returned :class:`ReconfigResult` carries the bitstream size and load
 time, which is how the complete-vs-differential trade-off ("the side
 effect of increasing the configuration time") is quantified.
+
+**Robust loading.**  :meth:`ReconfigManager.load` is the optimistic flow a
+benchmark uses; :meth:`ReconfigManager.load_robust` is what a production
+loader facing faulty staging memory or upsets would run: bounded
+verify-and-retry, readback scrubbing that repairs only the frames whose
+readback mismatches, rollback to the pre-load snapshot when an attempt
+cannot be salvaged, and graceful degradation to a registered software
+implementation when every attempt fails.  Everything is charged through
+the same CPU/bus cost model as the plain loader, so recovery overhead is
+measurable in simulated picoseconds.  Faults themselves come from an
+armed :class:`~repro.faults.plan.FaultPlan` (see :mod:`repro.faults`);
+when none is armed the hooks are single ``is None`` checks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..bitstream.bitlinker import Placement
-from ..bitstream.bitstream import Bitstream
+from ..bitstream.bitstream import Bitstream, BitstreamKind
 from ..bitstream.generator import verify_preserves_static
 from ..dock.interface import StreamingKernel
-from ..errors import ReconfigurationError, ResourceError
+from ..errors import FabricError, KernelError, ReconfigurationError, ResourceError
 from ..fabric.config_memory import ConfigMemory
+from ..fabric.frames import FrameAddress
 from ..kernels.base import BaseKernel
 from ..sw.costmodel import charge_word_reads
 from . import memmap
@@ -47,6 +60,16 @@ class ReconfigResult:
     #: Time spent verifying by ICAP readback (0 when verify was off).
     verify_ps: int = 0
     frames_verified: int = 0
+    #: Load attempts consumed (1 for the plain loader; up to
+    #: ``max_attempts`` for :meth:`ReconfigManager.load_robust`).
+    attempts: int = 1
+    #: Frames repaired by readback scrubbing during this load.
+    scrubbed_frames: int = 0
+    #: True when the hardware load was abandoned and the registered
+    #: software implementation stands in for the kernel.
+    fallback: bool = False
+    #: True when the pre-load configuration was restored (at least once).
+    rolled_back: bool = False
 
     @property
     def byte_size(self) -> int:
@@ -55,6 +78,16 @@ class ReconfigResult:
     @property
     def elapsed_ms(self) -> float:
         return self.elapsed_ps / 1e9
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of a standalone readback-scrub pass."""
+
+    frames_checked: int
+    frames_repaired: int
+    repaired: List[FrameAddress] = field(default_factory=list)
+    elapsed_ps: int = 0
 
 
 class ReconfigManager:
@@ -71,15 +104,23 @@ class ReconfigManager:
         self.dock = slot.dock if slot is not None else system.dock
         self.bitlinker = slot.bitlinker if slot is not None else system.bitlinker
         self._library: Dict[str, Tuple[BaseKernel, object]] = {}
+        self._software: Dict[str, object] = {}
         self.active: Optional[str] = None
         self.history: list[ReconfigResult] = []
+        #: Last known-good full-memory snapshot (set by successful
+        #: ``load_robust`` calls or :meth:`mark_golden`); the reference
+        #: :meth:`scrub` repairs towards.
+        self._golden = None
 
     # -- library ------------------------------------------------------------
-    def register(self, kernel: BaseKernel) -> None:
+    def register(self, kernel: BaseKernel, software=None) -> None:
         """Synthesise the kernel's component for this system and fit-check it.
 
         Raises :class:`ResourceError` when the component cannot fit the
-        dynamic region — the SHA-1-on-the-32-bit-system case.
+        dynamic region — the SHA-1-on-the-32-bit-system case.  An optional
+        ``software`` implementation (any object/callable the caller wants
+        back) is remembered for graceful degradation in
+        :meth:`load_robust`.
         """
         component = kernel.make_component(self.system.bus_width, self.region.rect.height)
         if component.width > self.region.rect.width:
@@ -91,6 +132,16 @@ class ReconfigManager:
             self.region.resources, what=f"component {component.name!r}"
         )
         self._library[kernel.name] = (kernel, component)
+        if software is not None:
+            self._software[kernel.name] = software
+
+    def register_software(self, name: str, implementation) -> None:
+        """Register (or replace) the software fallback for a kernel."""
+        self._software[name] = implementation
+
+    def software(self, name: str):
+        """The registered software implementation for ``name`` (or None)."""
+        return self._software.get(name)
 
     def fits(self, kernel: BaseKernel) -> bool:
         """Non-throwing fit check."""
@@ -98,7 +149,9 @@ class ReconfigManager:
             component = kernel.make_component(
                 self.system.bus_width, self.region.rect.height
             )
-        except Exception:
+        except (KernelError, FabricError):
+            # Expected synthesis/resource failures ("does not fit") only;
+            # anything else is a programming error and must surface.
             return False
         return (
             component.width <= self.region.rect.width
@@ -107,6 +160,11 @@ class ReconfigManager:
 
     def kernel(self, name: str) -> StreamingKernel:
         return self._library[name][0]
+
+    # -- fault hooks ---------------------------------------------------------
+    def _plan(self):
+        """The armed :class:`~repro.faults.plan.FaultPlan`, or None."""
+        return getattr(self.system, "fault_plan", None)
 
     # -- loading --------------------------------------------------------------
     def load(
@@ -118,13 +176,20 @@ class ReconfigManager:
         ``verify=True`` reads back a sample of the written frames through
         the ICAP (RCFG/FDRO path) and compares them with the bitstream —
         the belt-and-braces flow a production loader would use; the extra
-        time is reported separately in the result.
+        time is reported separately in the result.  ``verify_samples``
+        caps how many frames are checked (at least 1; never more than the
+        bitstream holds).
         """
         if name not in self._library:
             raise ReconfigurationError(
                 f"kernel {name!r} not registered with {self.system.name}"
             )
+        if verify and verify_samples < 1:
+            raise ValueError(f"verify_samples must be >= 1, got {verify_samples}")
         kernel, component = self._library[name]
+        plan = self._plan()
+        if plan is not None:
+            plan.take_load_upset(self.system.config_memory)
         placements = [Placement(component, col_offset=0, row_offset=0)]
         if differential:
             bitstream = self.bitlinker.link_differential(
@@ -166,40 +231,341 @@ class ReconfigManager:
         self.history.append(result)
         return result
 
-    def _verify_by_readback(self, bitstream: Bitstream, samples: int) -> Tuple[int, int]:
-        """Read back evenly spaced frames via the ICAP and compare."""
+    def load_robust(
+        self,
+        name: str,
+        differential: bool = False,
+        max_attempts: int = 3,
+        verify_samples: Optional[int] = None,
+        allow_fallback: bool = True,
+    ) -> ReconfigResult:
+        """Fault-tolerant reconfiguration: verify, scrub, retry, roll back.
+
+        Each attempt rebuilds and feeds the bitstream, then reads back the
+        written frames (all of them by default; ``verify_samples`` caps
+        the scan) and *scrubs* any mismatching frames by rewriting just
+        those frames through the ICAP.  An attempt that cannot be
+        salvaged — CRC/commit failure, scrub that does not converge, or a
+        disturbed static region — rolls the configuration back to the
+        pre-load snapshot and retries, up to ``max_attempts`` times.  When
+        every attempt fails the region is left rolled back and, if
+        ``allow_fallback`` and a software implementation is registered,
+        the result records graceful degradation (``fallback=True``,
+        ``kind='software-fallback'``); otherwise the last error is raised.
+
+        All recovery work is charged through the CPU/bus cost model; the
+        result's ``elapsed_ps`` covers everything, ``attempts``/
+        ``scrubbed_frames``/``rolled_back`` report what recovery cost.
+        """
+        if name not in self._library:
+            raise ReconfigurationError(
+                f"kernel {name!r} not registered with {self.system.name}"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if verify_samples is not None and verify_samples < 1:
+            raise ValueError(f"verify_samples must be >= 1, got {verify_samples}")
+        kernel, component = self._library[name]
+        plan = self._plan()
+        if plan is not None:
+            plan.take_load_upset(self.system.config_memory)
+
+        before = ConfigMemory(self.system.device)
+        before.restore(self.system.config_memory.snapshot())
+
+        cpu = self.system.cpu
+        start = cpu.now_ps
+        attempts = 0
+        scrubbed_total = 0
+        frames_verified = 0
+        verify_ps_total = 0
+        rolled_back = False
+        last_error: Optional[ReconfigurationError] = None
+
+        while attempts < max_attempts:
+            attempts += 1
+            placements = [Placement(component, col_offset=0, row_offset=0)]
+            if differential:
+                bitstream = self.bitlinker.link_differential(
+                    placements, current=self.system.config_memory
+                )
+            else:
+                bitstream = self.bitlinker.link(placements)
+            try:
+                _, word_count = self._feed_through_icap(bitstream)
+            except ReconfigurationError as err:
+                # CRC/commit failure: the ICAP flushed its FIFO and wrote
+                # nothing, so the configuration is untouched — just retry.
+                last_error = err
+                continue
+
+            verify_start = cpu.now_ps
+            bad, checked = self._scan_frames(bitstream.frames, verify_samples)
+            frames_verified += checked
+            if bad:
+                try:
+                    self._scrub_frames(bitstream, bad)
+                except ReconfigurationError as err:
+                    verify_ps_total += cpu.now_ps - verify_start
+                    last_error = err
+                    rolled_back |= self._rollback(before)
+                    continue
+                still_bad, rechecked = self._scan_frames(bitstream.frames, None, only=bad)
+                frames_verified += rechecked
+                scrubbed_total += len(bad)
+                if still_bad:
+                    verify_ps_total += cpu.now_ps - verify_start
+                    last_error = ReconfigurationError(
+                        f"{name}: readback still wrong after scrubbing "
+                        f"{len(bad)} frame(s)"
+                    )
+                    rolled_back |= self._rollback(before)
+                    continue
+            verify_ps_total += cpu.now_ps - verify_start
+
+            if not verify_preserves_static(before, self.system.config_memory, self.region):
+                last_error = ReconfigurationError(
+                    f"loading {name!r} disturbed configuration outside the region"
+                )
+                rolled_back |= self._rollback(before)
+                continue
+
+            self.dock.attach_kernel(kernel)
+            self.active = name
+            self._golden = self.system.config_memory.snapshot()
+            result = ReconfigResult(
+                kernel_name=name,
+                kind=bitstream.kind.value,
+                frame_count=bitstream.frame_count,
+                word_count=word_count,
+                elapsed_ps=cpu.now_ps - start,
+                verify_ps=verify_ps_total,
+                frames_verified=frames_verified,
+                attempts=attempts,
+                scrubbed_frames=scrubbed_total,
+                rolled_back=rolled_back,
+            )
+            self.history.append(result)
+            return result
+
+        # Every attempt failed: leave the region as it was before the load.
+        rolled_back |= self._rollback(before)
+        if allow_fallback and name in self._software:
+            self.dock.detach_kernel()
+            self.active = None
+            result = ReconfigResult(
+                kernel_name=name,
+                kind="software-fallback",
+                frame_count=0,
+                word_count=0,
+                elapsed_ps=cpu.now_ps - start,
+                verify_ps=verify_ps_total,
+                frames_verified=frames_verified,
+                attempts=attempts,
+                scrubbed_frames=scrubbed_total,
+                fallback=True,
+                rolled_back=True,
+            )
+            self.history.append(result)
+            return result
+        raise ReconfigurationError(
+            f"{name}: robust load failed after {attempts} attempt(s)"
+        ) from last_error
+
+    def mark_golden(self) -> None:
+        """Snapshot the current configuration as the scrub reference."""
+        self._golden = self.system.config_memory.snapshot()
+
+    def scrub(self, reference=None) -> ScrubReport:
+        """Readback-scrub the whole configuration against a known-good state.
+
+        Reads back every written frame of ``reference`` (default: the
+        golden snapshot captured by the last successful ``load_robust`` /
+        :meth:`mark_golden`) through the ICAP, and rewrites only the
+        frames whose readback mismatches — the periodic scrubbing pass a
+        radiation-tolerant deployment would schedule.
+        """
+        ref = reference if reference is not None else self._golden
+        if ref is None:
+            raise ReconfigurationError(
+                "no golden snapshot to scrub against; call load_robust()/"
+                "mark_golden() first or pass an explicit reference"
+            )
+        cpu = self.system.cpu
+        start = cpu.now_ps
+        repair: List[Tuple[FrameAddress, np.ndarray]] = []
+        checked = 0
+        for address in ref:
+            expected = np.asarray(ref[address], dtype=np.uint32)
+            data = self._readback_frame(address)
+            checked += 1
+            if not np.array_equal(data, expected):
+                repair.append((address, expected))
+        if repair:
+            stream = Bitstream(
+                device_name=self.system.device.name,
+                kind=BitstreamKind.PARTIAL_COMPLETE,
+                frames=repair,
+                description=f"scrub repair of {len(repair)} frame(s)",
+            )
+            self._feed_through_icap(stream)
+        return ScrubReport(
+            frames_checked=checked,
+            frames_repaired=len(repair),
+            repaired=[address for address, _ in repair],
+            elapsed_ps=cpu.now_ps - start,
+        )
+
+    # -- readback helpers ------------------------------------------------------
+    def _readback_frame(self, address: FrameAddress) -> np.ndarray:
+        """Read one frame back through the ICAP, charging the bus time.
+
+        The first two RDATA words are real uncached loads (the second is
+        the steady-state calibration sample, matching the batch idiom of
+        :meth:`~repro.cpu.ppc405.Ppc405.io_read_batch`); the remainder is
+        drained in bulk with its time and counters extrapolated — and
+        attributed to the HWICAP *readback* counter, exactly as the
+        word-by-word loop would record it.
+        """
         from ..periph.hwicap import CTRL_READBACK, REG_CONTROL, REG_FAR, REG_RDATA
 
         cpu = self.system.cpu
-        base = self.system.hwicap.base
+        icap = self.system.hwicap
+        base = icap.base
+        cpu.io_write(base + REG_FAR, address.packed())
+        cpu.io_write(base + REG_CONTROL, CTRL_READBACK)
+        first = cpu.io_read(base + REG_RDATA)
+        if not icap.readback_pending():
+            return np.array([first], dtype=np.uint32)
+        probe_start = cpu.now_ps
+        second = cpu.io_read(base + REG_RDATA)
+        per_read = cpu.now_ps - probe_start
+        rest = icap.drain_readback()
+        extra = int(rest.size)
+        if extra:
+            cpu.now_ps += per_read * extra
+            cpu.stats.count("io_reads", extra)
+            cpu.plb.stats.count("reads", extra)
+            icap.stats.count("readback_reads", extra)
+        head = np.array([first, second], dtype=np.uint32)
+        return np.concatenate([head, rest]) if extra else head
+
+    def _sample_indices(self, count: int, samples: Optional[int]) -> Sequence[int]:
+        """Evenly spaced frame indices, clamped to ``min(samples, count)``.
+
+        Spacing ``(count-1)/(num-1) >= 1`` guarantees the floored indices
+        are distinct, so exactly ``num`` frames are checked — never more
+        than requested (the old ``count // samples`` stepping could check
+        up to twice as many).
+        """
+        if samples is None or samples >= count:
+            return range(count)
+        return [int(i) for i in np.linspace(0, count - 1, num=int(samples))]
+
+    def _verify_by_readback(self, bitstream: Bitstream, samples: int) -> Tuple[int, int]:
+        """Read back evenly spaced frames via the ICAP and compare."""
+        cpu = self.system.cpu
         start = cpu.now_ps
         frames = bitstream.frames
         if not frames:
             return 0, 0
-        step = max(1, len(frames) // samples)
         checked = 0
-        for index in range(0, len(frames), step):
+        for index in self._sample_indices(len(frames), samples):
             address, expected = frames[index]
-            cpu.io_write(base + REG_FAR, address.packed())
-            cpu.io_write(base + REG_CONTROL, CTRL_READBACK)
-            words_per_frame = len(expected)
-            first = cpu.io_read(base + REG_RDATA)
-            if first != int(expected[0]):
+            data = self._readback_frame(address)
+            if int(data[0]) != int(expected[0]):
                 raise ReconfigurationError(
-                    f"readback mismatch at {address}: {first:#010x} != {int(expected[0]):#010x}"
+                    f"readback mismatch at {address}: {int(data[0]):#010x} != "
+                    f"{int(expected[0]):#010x}"
                 )
-            # Remaining words: charge time as a batch, compare functionally.
-            rest = self.system.hwicap.drain_readback()
-            if not np.array_equal(rest, np.asarray(expected[1:], dtype=np.uint32)):
+            if not np.array_equal(data[1:], np.asarray(expected[1:], dtype=np.uint32)):
                 raise ReconfigurationError(f"readback mismatch within {address}")
-            cpu.io_read_batch(base + 0x4, words_per_frame - 1)  # STATUS-priced reads
             checked += 1
         return cpu.now_ps - start, checked
 
+    def _scan_frames(
+        self,
+        frames: Sequence[Tuple[FrameAddress, np.ndarray]],
+        samples: Optional[int],
+        only: Optional[Sequence[int]] = None,
+    ) -> Tuple[List[int], int]:
+        """Non-raising readback scan; returns (mismatched indices, checked).
+
+        ``only`` restricts the scan to specific frame indices (the
+        post-scrub recheck); otherwise ``samples`` caps an evenly spaced
+        sample (None = every frame).
+        """
+        if not frames:
+            return [], 0
+        if only is not None:
+            indices: Sequence[int] = only
+        else:
+            indices = self._sample_indices(len(frames), samples)
+        bad: List[int] = []
+        checked = 0
+        for index in indices:
+            address, expected = frames[index]
+            data = self._readback_frame(address)
+            checked += 1
+            if not np.array_equal(data, np.asarray(expected, dtype=np.uint32)):
+                bad.append(index)
+        return bad, checked
+
+    def _scrub_frames(self, bitstream: Bitstream, indices: Sequence[int]) -> None:
+        """Rewrite only the given frames of ``bitstream`` through the ICAP."""
+        frames = [bitstream.frames[index] for index in indices]
+        repair = Bitstream(
+            device_name=bitstream.device_name,
+            kind=BitstreamKind.PARTIAL_COMPLETE,
+            frames=frames,
+            description=f"scrub of {len(frames)} frame(s)",
+        )
+        self._feed_through_icap(repair)
+
+    def _rollback(self, before: ConfigMemory) -> bool:
+        """Restore the pre-load configuration, charging the repair feed.
+
+        Frames that differ from the snapshot are rewritten through the
+        ICAP (so the recovery time is accounted), then the memory is
+        restored functionally — which also clears written-marks the ICAP
+        cannot undo.  Returns True when anything had to be repaired.
+        """
+        memory = self.system.config_memory
+        baseline = before.snapshot()
+        repair: List[Tuple[FrameAddress, np.ndarray]] = []
+        for address, _ in memory.diff(baseline):
+            repair.append((address, before.read_frame(address)))
+        if repair:
+            stream = Bitstream(
+                device_name=self.system.device.name,
+                kind=BitstreamKind.PARTIAL_COMPLETE,
+                frames=repair,
+                description=f"rollback of {len(repair)} frame(s)",
+            )
+            try:
+                self._feed_through_icap(stream)
+            except ReconfigurationError:
+                # Even a faulted rollback feed ends in the functional
+                # restore below; the attempt's bus time stays charged.
+                pass
+        memory.restore(baseline)
+        return bool(repair)
+
     def clear(self) -> ReconfigResult:
         """Blank the dynamic region (complete partial bitstream of zeros)."""
+        plan = self._plan()
+        if plan is not None:
+            plan.take_load_upset(self.system.config_memory)
         bitstream = self.bitlinker.clear_bitstream()
+        before = ConfigMemory(self.system.device)
+        before.restore(self.system.config_memory.snapshot())
         elapsed, word_count = self._feed_through_icap(bitstream)
+        # A buggy clear stream must not silently disturb static logic or
+        # other regions any more than a load may.
+        if not verify_preserves_static(before, self.system.config_memory, self.region):
+            raise ReconfigurationError(
+                "clearing the region disturbed configuration outside it"
+            )
         self.dock.detach_kernel()
         self.active = None
         result = ReconfigResult(
@@ -221,6 +587,11 @@ class ReconfigManager:
         ``bitstream.word_count`` (which would serialise again).
         """
         words = bitstream.to_words()
+        plan = self._plan()
+        if plan is not None:
+            # SEUs in the staged copy strike before the feed: the ICAP sees
+            # (and CRC-checks) the corrupted stream.
+            words = plan.corrupt_staged(words)
         cpu = self.system.cpu
         start = cpu.now_ps
         if len(words):

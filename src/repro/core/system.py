@@ -89,6 +89,9 @@ class System:
         self.reset_block.register(self.cpu.reset)
         self._modules: List[ModuleEntry] = []
         self.extras: Dict[str, object] = {}
+        #: Armed :class:`~repro.faults.plan.FaultPlan`, or None.  Arm/disarm
+        #: via :mod:`repro.faults.plan`, which also wires the component hooks.
+        self.fault_plan = None
 
         # Configuration state: boot the static design, snapshot the baseline.
         self.config_memory = ConfigMemory(device)

@@ -57,6 +57,14 @@ class SgDmaEngine:
         self.dock_base = dock_base
         self.name = name
         self.stats = StatsGroup(name)
+        #: Armed :class:`~repro.faults.plan.FaultPlan`, or None (no cost).
+        self.fault_plan = None
+
+    def _check_descriptor_fault(self) -> None:
+        plan = self.fault_plan
+        if plan is not None and plan.take_dma_fault(self.name):
+            self.stats.count("descriptor_faults")
+            raise TransferError(f"{self.name}: injected transfer error on descriptor")
 
     def _chunk(self) -> int:
         return self.bus.max_burst_beats
@@ -76,6 +84,7 @@ class SgDmaEngine:
         """
         cursor = when_ps
         for descriptor in descriptors:
+            self._check_descriptor_fault()
             cursor += self.bus.clock.cycles_to_ps(self.DESCRIPTOR_FETCH_CYCLES)
             if descriptor.dst is None:
                 cursor = self._memory_to_dock(cursor, descriptor)
@@ -101,6 +110,7 @@ class SgDmaEngine:
         def _runner() -> Generator[int, None, int]:
             cursor = max(when_ps, sim.now)
             for descriptor in descriptors:
+                self._check_descriptor_fault()
                 cursor += self.bus.clock.cycles_to_ps(self.DESCRIPTOR_FETCH_CYCLES)
                 remaining = descriptor.word_count
                 address_src = descriptor.src

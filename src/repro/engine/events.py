@@ -198,7 +198,7 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        except BaseException as err:
+        except BaseException as err:  # repro: noqa LINT007 (stored by fail, re-raised at join)
             self.fail(err)
             return
 

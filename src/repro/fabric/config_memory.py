@@ -193,6 +193,44 @@ class ConfigMemory:
         explicitly."""
         return self._data[rows]
 
+    def inject_upset(
+        self,
+        rng: np.random.Generator,
+        flips: int = 1,
+        addresses: Sequence[FrameAddress] = None,
+    ) -> List[Tuple[FrameAddress, int, int]]:
+        """Flip random bits in written frames (fault injection only).
+
+        Models a radiation upset, not a bus access: the read/write
+        counters do *not* advance and no timing is charged.  ``addresses``
+        restricts the strike to specific frames (e.g. the frames a commit
+        just wrote); by default any written catalogued frame is fair game.
+        Returns ``(address, word_index, bit)`` per flip; empty when the
+        memory holds nothing to corrupt.
+        """
+        order = self.geometry.frame_order()
+        if addresses is None:
+            rows = np.flatnonzero(self._written)
+        else:
+            rows = np.array(
+                [
+                    row
+                    for row in (self.geometry.frame_index(a) for a in addresses)
+                    if row is not None and self._written[row]
+                ],
+                dtype=np.int64,
+            )
+        if rows.size == 0:
+            return []
+        flipped: List[Tuple[FrameAddress, int, int]] = []
+        for _ in range(int(flips)):
+            row = int(rows[int(rng.integers(rows.size))])
+            word = int(rng.integers(self.geometry.words_per_frame))
+            bit = int(rng.integers(32))
+            self._data[row, word] ^= np.uint32(1 << bit)
+            flipped.append((order[row], word, bit))
+        return flipped
+
     def frames_equal(self, address: FrameAddress, other: "ConfigMemory") -> bool:
         """True when both memories hold identical data for ``address``."""
         return bool(np.array_equal(self.read_frame(address), other.read_frame(address)))

@@ -1,0 +1,16 @@
+"""Seeded fault injection and fault campaigns for the reconfiguration stack."""
+
+from .campaign import CampaignReport, TrialResult, run_campaign
+from .plan import FaultPlan, InjectedFault, arm, armed, disarm, payload_word_indices
+
+__all__ = [
+    "CampaignReport",
+    "FaultPlan",
+    "InjectedFault",
+    "TrialResult",
+    "arm",
+    "armed",
+    "disarm",
+    "payload_word_indices",
+    "run_campaign",
+]

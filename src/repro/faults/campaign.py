@@ -1,0 +1,237 @@
+"""Seeded fault campaigns: strike, recover, measure.
+
+A campaign runs a set of *trial kinds* — one per injector family — each a
+fresh system built by a caller-supplied ``builder`` (kept as a parameter
+so this module does not depend on the scenario rigs), with a seeded
+:class:`~repro.faults.plan.FaultPlan` armed and the robust loader (or
+scrubber, or DMA retry) asked to survive it.  Every random choice derives
+from the campaign seed, so a report reproduces bit-for-bit from
+``(seed, kinds, trials)``.
+
+Reported per trial: whether the fault was *recovered* (the hardware load
+or transfer ultimately succeeded), whether the loader *degraded* to the
+registered software fallback, attempts/scrubbed-frame counts, the number
+of faults actually delivered, and the simulated recovery time against a
+clean-load baseline (the overhead of being robust).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import TransferError
+from .plan import FaultPlan, armed, derive_rng_seed
+
+#: Trial kinds in reporting order.
+DEFAULT_KINDS: Tuple[str, ...] = (
+    "seu",
+    "commit",
+    "upset",
+    "upset-scrub",
+    "dma",
+    "fallback",
+)
+
+
+@dataclass
+class TrialResult:
+    """One fault trial: what struck and how the system coped."""
+
+    kind: str
+    trial: int
+    seed: int
+    recovered: bool
+    fallback: bool
+    attempts: int
+    scrubbed_frames: int
+    faults_delivered: int
+    elapsed_ps: int
+    detail: str = ""
+
+
+@dataclass
+class CampaignReport:
+    """All trials of one campaign plus the clean-load baseline."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+    #: Simulated time of one fault-free ``load_robust`` on the same rig.
+    clean_load_ps: int = 0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of trials whose hardware path ultimately succeeded."""
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.recovered) / len(self.trials)
+
+    @property
+    def handled_rate(self) -> float:
+        """Fraction recovered *or* gracefully degraded (nothing crashed)."""
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.recovered or t.fallback) / len(self.trials)
+
+    @property
+    def fallback_rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.fallback) / len(self.trials)
+
+    @property
+    def mean_attempts(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.attempts for t in self.trials) / len(self.trials)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(t.faults_delivered for t in self.trials)
+
+    def overhead_ratio(self, trial: TrialResult) -> float:
+        """Recovery time relative to the clean load (1.0 = no overhead)."""
+        if not self.clean_load_ps:
+            return 0.0
+        return trial.elapsed_ps / self.clean_load_ps
+
+
+def _trial_seed(seed: int, kind: str, trial: int) -> int:
+    return derive_rng_seed(seed, f"{kind}:{trial}") & 0x7FFFFFFF
+
+
+def _detail(plan: FaultPlan) -> str:
+    return "; ".join(f"{kind}@{site}: {note}" for kind, site, note in plan.summary())
+
+
+def run_trial(
+    kind: str,
+    trial: int,
+    seed: int,
+    builder: Callable[[], Tuple[object, object]],
+    kernel: str,
+    max_attempts: int,
+) -> TrialResult:
+    """One seeded fault trial on a fresh system; see :data:`DEFAULT_KINDS`."""
+    system, manager = builder()
+    trial_seed = _trial_seed(seed, kind, trial)
+
+    if kind == "seu":
+        # Single-bit upset in the staged bitstream of the first feed: the
+        # ICAP CRC rejects it, the loader retries with a clean copy.
+        plan = FaultPlan(trial_seed, seu_feeds={0})
+        with armed(system, plan):
+            result = manager.load_robust(kernel, max_attempts=max_attempts)
+        return TrialResult(
+            kind, trial, trial_seed,
+            recovered=not result.fallback, fallback=result.fallback,
+            attempts=result.attempts, scrubbed_frames=result.scrubbed_frames,
+            faults_delivered=plan.faults_delivered,
+            elapsed_ps=result.elapsed_ps, detail=_detail(plan),
+        )
+
+    if kind == "commit":
+        # The ICAP reports a commit/CRC failure even for a clean stream.
+        plan = FaultPlan(trial_seed, commit_faults={0})
+        with armed(system, plan):
+            result = manager.load_robust(kernel, max_attempts=max_attempts)
+        return TrialResult(
+            kind, trial, trial_seed,
+            recovered=not result.fallback, fallback=result.fallback,
+            attempts=result.attempts, scrubbed_frames=result.scrubbed_frames,
+            faults_delivered=plan.faults_delivered,
+            elapsed_ps=result.elapsed_ps, detail=_detail(plan),
+        )
+
+    if kind == "upset":
+        # A configuration-memory upset lands right after the commit; the
+        # in-load readback scan must catch and scrub it.
+        plan = FaultPlan(trial_seed, post_commit_upsets={0})
+        with armed(system, plan):
+            result = manager.load_robust(kernel, max_attempts=max_attempts)
+        return TrialResult(
+            kind, trial, trial_seed,
+            recovered=not result.fallback, fallback=result.fallback,
+            attempts=result.attempts, scrubbed_frames=result.scrubbed_frames,
+            faults_delivered=plan.faults_delivered,
+            elapsed_ps=result.elapsed_ps, detail=_detail(plan),
+        )
+
+    if kind == "upset-scrub":
+        # Upset strikes *between* loads; the periodic scrub pass repairs it.
+        result = manager.load_robust(kernel, max_attempts=max_attempts)
+        plan = FaultPlan(trial_seed, upset_flips=1)
+        plan.upset_now(system.config_memory)
+        report = manager.scrub()
+        return TrialResult(
+            kind, trial, trial_seed,
+            recovered=report.frames_repaired >= 1, fallback=False,
+            attempts=result.attempts, scrubbed_frames=report.frames_repaired,
+            faults_delivered=plan.faults_delivered,
+            elapsed_ps=report.elapsed_ps, detail=_detail(plan),
+        )
+
+    if kind == "dma":
+        # A descriptor aborts mid-chain; the driver retries the chain.
+        from ..dock.dma import Descriptor
+
+        plan = FaultPlan(trial_seed, dma_descriptors={0})
+        descriptor = Descriptor(
+            src=system.ext_mem_base,
+            dst=system.ext_mem_base + 0x1000,
+            word_count=64,
+            size_bytes=8 if system.bus_width >= 64 else 4,
+        )
+        engine = system.dock.dma
+        start_ps = system.cpu.now_ps
+        recovered = False
+        with armed(system, plan):
+            try:
+                done = engine.run_chain(start_ps, [descriptor])
+            except TransferError:
+                done = engine.run_chain(start_ps, [descriptor])
+                recovered = True
+        return TrialResult(
+            kind, trial, trial_seed,
+            recovered=recovered, fallback=False,
+            attempts=2 if recovered else 1, scrubbed_frames=0,
+            faults_delivered=plan.faults_delivered,
+            elapsed_ps=done - start_ps, detail=_detail(plan),
+        )
+
+    if kind == "fallback":
+        # Every attempt's staged copy is corrupted: the loader must roll
+        # back and degrade to the registered software implementation.
+        manager.register_software(kernel, f"sw:{kernel}")
+        plan = FaultPlan(trial_seed, seu_feeds=set(range(max_attempts)))
+        with armed(system, plan):
+            result = manager.load_robust(kernel, max_attempts=max_attempts)
+        return TrialResult(
+            kind, trial, trial_seed,
+            recovered=not result.fallback, fallback=result.fallback,
+            attempts=result.attempts, scrubbed_frames=result.scrubbed_frames,
+            faults_delivered=plan.faults_delivered,
+            elapsed_ps=result.elapsed_ps, detail=_detail(plan),
+        )
+
+    raise ValueError(f"unknown fault-trial kind {kind!r}")
+
+
+def run_campaign(
+    builder: Callable[[], Tuple[object, object]],
+    kinds: Sequence[str] = DEFAULT_KINDS,
+    trials: int = 3,
+    seed: int = 2006,
+    kernel: str = "brightness",
+    max_attempts: int = 3,
+) -> CampaignReport:
+    """Run ``trials`` seeded trials of each kind on fresh systems."""
+    report = CampaignReport()
+    _, clean_manager = builder()
+    clean = clean_manager.load_robust(kernel, max_attempts=max_attempts)
+    report.clean_load_ps = clean.elapsed_ps
+    for kind in kinds:
+        for trial in range(trials):
+            report.trials.append(
+                run_trial(kind, trial, seed, builder, kernel, max_attempts)
+            )
+    return report

@@ -76,6 +76,8 @@ class OpbHwIcap:
         self._far = 0
         self._rb = _EMPTY_WORDS
         self._rb_pos = 0
+        #: Armed :class:`~repro.faults.plan.FaultPlan`, or None (no cost).
+        self.fault_plan = None
 
     # -- bus interface ------------------------------------------------------
     def access(self, txn: Transaction, when_ps: int) -> Tuple[int, Any]:
@@ -87,7 +89,15 @@ class OpbHwIcap:
                     self.push_words(txn.data)
                     self.stats.count("data_writes", int(txn.data.size))
                     return self.WRITE_WAIT * txn.beats, None
-                payload = txn.data if isinstance(txn.data, (list, tuple)) else [txn.data]
+                if isinstance(txn.data, np.ndarray):
+                    # Reference path must accept the same burst payloads the
+                    # fast path does; ndarrays are fed word by word so the
+                    # scalar ingest is still exercised.
+                    payload = txn.data.ravel().tolist()
+                elif isinstance(txn.data, (list, tuple)):
+                    payload = txn.data
+                else:
+                    payload = [txn.data]
                 for value in payload:
                     self._push_word(int(value) & 0xFFFFFFFF)
                 self.stats.count("data_writes", len(payload))
@@ -184,6 +194,16 @@ class OpbHwIcap:
         if not self._pending:
             self._status |= STATUS_DONE
             return
+        plan = self.fault_plan
+        if plan is not None and plan.take_commit_fault(self.name):
+            # Forced CRC/commit failure: same observable side effects as a
+            # genuinely corrupt stream (counter, status, flushed FIFO).
+            self.crc_failures += 1
+            self._status |= STATUS_ERROR
+            self._pending = 0
+            raise ReconfigurationError(
+                f"{self.name}: bad bitstream: injected CRC/commit fault"
+            )
         words = self._buf[: self._pending]
         fast_ok = fastpath.enabled()
         try:
@@ -222,6 +242,10 @@ class OpbHwIcap:
             for address, data in frames:
                 self.config_memory.write_frame(address, data)
                 self.frames_written += 1
+        if plan is not None:
+            plan.take_post_commit_upset(
+                self.config_memory, [address for address, _ in frames]
+            )
         self._pending = 0
         self._status = STATUS_DONE
 

@@ -1,0 +1,134 @@
+"""Fault-injection scenarios: recovery rate and the price of robustness.
+
+Two scenarios, both pure and cacheable like everything in the registry:
+
+* ``fault_campaign`` — the seeded campaign of :mod:`repro.faults.campaign`
+  (SEU in the staged stream, forced commit failure, post-commit and
+  between-load memory upsets, DMA abort, forced software fallback),
+  reporting per-trial recovery and the overhead of recovering versus a
+  clean load.
+* ``robust_overhead`` — what the belt-and-braces loader costs when nothing
+  goes wrong: plain ``load`` vs fully-verified ``load_robust`` on a clean
+  system, the "configuration time vs trustworthiness" trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..faults.campaign import DEFAULT_KINDS, run_campaign
+from .registry import scenario
+from .result import ScenarioResult
+from .rigs import build_rig64
+
+
+@scenario(
+    "fault_campaign",
+    title="Fault-injection campaign: recovery rate of the robust loader",
+    tags=("faults", "reconfig", "system64"),
+    params={"trials": 3, "seed": 2006, "kernel": "brightness", "max_attempts": 3},
+    smoke_params={"trials": 1},
+)
+def fault_campaign(trials: int, seed: int, kernel: str, max_attempts: int) -> ScenarioResult:
+    report = run_campaign(
+        build_rig64, kinds=DEFAULT_KINDS, trials=trials, seed=seed,
+        kernel=kernel, max_attempts=max_attempts,
+    )
+    rows: List[List[object]] = []
+    for t in report.trials:
+        rows.append(
+            [
+                t.kind,
+                t.trial,
+                "yes" if t.recovered else "no",
+                "yes" if t.fallback else "no",
+                t.attempts,
+                t.scrubbed_frames,
+                t.faults_delivered,
+                t.elapsed_ps / 1e9,
+                round(report.overhead_ratio(t), 3),
+            ]
+        )
+    by_kind = {
+        kind: [t for t in report.trials if t.kind == kind] for kind in DEFAULT_KINDS
+    }
+    return ScenarioResult(
+        name="fault_campaign",
+        title=(
+            f"Fault campaign: {trials} trial(s) x {len(DEFAULT_KINDS)} fault kinds, "
+            f"seed {seed} (64-bit system)"
+        ),
+        headers=[
+            "kind",
+            "trial",
+            "recovered",
+            "fallback",
+            "attempts",
+            "scrubbed frames",
+            "faults",
+            "recovery (ms)",
+            "overhead vs clean",
+        ],
+        rows=rows,
+        headline={
+            "trials": len(report.trials),
+            "recovery_rate": report.recovery_rate,
+            "handled_rate": report.handled_rate,
+            "fallback_rate": report.fallback_rate,
+            "mean_attempts": report.mean_attempts,
+            "total_faults": report.total_faults,
+            "clean_load_ps": report.clean_load_ps,
+            "kinds": len(DEFAULT_KINDS),
+            "seu_recovery_rate": (
+                sum(1 for t in by_kind["seu"] if t.recovered) / max(1, len(by_kind["seu"]))
+            ),
+            "fallback_kind_rate": (
+                sum(1 for t in by_kind["fallback"] if t.fallback)
+                / max(1, len(by_kind["fallback"]))
+            ),
+        },
+    )
+
+
+@scenario(
+    "robust_overhead",
+    title="Robust-loading overhead on a fault-free system",
+    tags=("faults", "reconfig", "system64"),
+    params={"kernel": "brightness", "verify_samples": 8},
+)
+def robust_overhead(kernel: str, verify_samples: int) -> ScenarioResult:
+    _, manager_plain = build_rig64()
+    plain = manager_plain.load(kernel)
+    _, manager_sampled = build_rig64()
+    sampled = manager_sampled.load(kernel, verify=True, verify_samples=verify_samples)
+    _, manager_robust = build_rig64()
+    robust = manager_robust.load_robust(kernel)
+    rows = [
+        ["plain load", plain.elapsed_ps / 1e9, plain.frames_verified, 1.0],
+        [
+            f"verified load ({verify_samples} samples)",
+            sampled.elapsed_ps / 1e9,
+            sampled.frames_verified,
+            round(sampled.elapsed_ps / plain.elapsed_ps, 3),
+        ],
+        [
+            "robust load (full scan)",
+            robust.elapsed_ps / 1e9,
+            robust.frames_verified,
+            round(robust.elapsed_ps / plain.elapsed_ps, 3),
+        ],
+    ]
+    return ScenarioResult(
+        name="robust_overhead",
+        title="Robust-loading overhead: plain vs verified vs full-scan robust load",
+        headers=["flow", "load (ms)", "frames verified", "x plain"],
+        rows=rows,
+        headline={
+            "plain_ps": plain.elapsed_ps,
+            "sampled_ps": sampled.elapsed_ps,
+            "robust_ps": robust.elapsed_ps,
+            "robust_overhead": round(robust.elapsed_ps / plain.elapsed_ps, 3),
+            "sampled_overhead": round(sampled.elapsed_ps / plain.elapsed_ps, 3),
+            "frames_verified_robust": robust.frames_verified,
+        },
+    )

@@ -30,7 +30,7 @@ def _canon(value):
     if hasattr(value, "item") and not isinstance(value, (str, bytes)):
         try:
             value = value.item()
-        except Exception:
+        except Exception:  # repro: noqa LINT007 (non-scalar .item: keep original value)
             pass
     if isinstance(value, bool) or value is None:
         return value

@@ -110,7 +110,7 @@ class ResultCache:
                 raise ValueError("cache key mismatch")
             result = ScenarioResult.from_dict(envelope["result"])
             host_seconds = float(envelope.get("host_seconds", 0.0))
-        except Exception:
+        except Exception:  # repro: noqa LINT007 (any corruption flavour means miss)
             # Corrupted entry: drop it so the next run regenerates cleanly.
             try:
                 path.unlink()

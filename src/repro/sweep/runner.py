@@ -66,7 +66,7 @@ def _execute_scenario(name: str, params: Mapping[str, object]) -> Dict[str, obje
     started = _now()
     try:
         result = get_scenario(name).run(params)
-    except BaseException as err:  # noqa: BLE001 - worker boundary
+    except BaseException as err:  # repro: noqa LINT007 (worker boundary: error returned as data)
         return {
             "name": name,
             "error": f"{type(err).__name__}: {err}",

@@ -409,3 +409,83 @@ def test_shipped_package_lints_clean():
 def test_package_root_points_at_repro():
     assert package_root().name == "repro"
     assert (package_root() / "checks" / "lint.py").exists()
+
+
+# -- LINT007: swallowed broad excepts ----------------------------------------
+
+def test_lint007_bare_except_swallowing():
+    found = lint(
+        """
+        def f():
+            try:
+                work()
+            except:
+                pass
+        """
+    )
+    assert ids(found) == {"LINT007"}
+
+
+def test_lint007_broad_except_swallowing():
+    found = lint(
+        """
+        def f():
+            try:
+                work()
+            except Exception:
+                return None
+        """
+    )
+    assert ids(found) == {"LINT007"}
+
+
+def test_lint007_broad_except_in_tuple():
+    found = lint(
+        """
+        def f():
+            try:
+                work()
+            except (ValueError, BaseException) as err:
+                log(err)
+        """
+    )
+    assert ids(found) == {"LINT007"}
+
+
+def test_lint007_reraising_handler_is_clean():
+    found = lint(
+        """
+        def f():
+            try:
+                work()
+            except Exception as err:
+                raise RuntimeError("wrapped") from err
+        """
+    )
+    assert found == []
+
+
+def test_lint007_narrow_handler_is_clean():
+    found = lint(
+        """
+        def f():
+            try:
+                work()
+            except (ValueError, KeyError):
+                return None
+        """
+    )
+    assert found == []
+
+
+def test_lint007_noqa_suppresses():
+    found = lint(
+        """
+        def f():
+            try:
+                work()
+            except Exception:  # repro: noqa LINT007 (boundary: errors become data)
+                return None
+        """
+    )
+    assert found == []

@@ -120,3 +120,59 @@ def test_reconfig_result_reports_size(system32):
     result = manager.load("brightness")
     assert result.byte_size == result.word_count * 4
     assert result.elapsed_ms > 0
+
+
+def test_clear_detects_disturbed_static_configuration():
+    # Regression: clear() used to trust the linker's clear stream blindly;
+    # a stream that also touches another dynamic region must be rejected.
+    from repro.bitstream.bitstream import Bitstream
+    from repro.core.multiregion import build_system64_dual
+
+    system, slot = build_system64_dual()
+    manager_a = ReconfigManager(system)
+    manager_b = ReconfigManager(system, slot=slot)
+    for manager in (manager_a, manager_b):
+        manager.register(BrightnessKernel(5))
+        manager.load("brightness")
+
+    class LeakyLinker:
+        """Clear stream that also corrupts a frame of the other region."""
+
+        def __init__(self, real, victim):
+            self.real = real
+            self.victim = victim
+
+        def clear_bitstream(self, description="clear dynamic region"):
+            stream = self.real.clear_bitstream(description)
+            words = system.device.words_per_frame
+            rogue = np.full(words, 0xDEADBEEF, dtype=np.uint32)
+            return Bitstream(
+                device_name=stream.device_name,
+                kind=stream.kind,
+                frames=list(stream.frames) + [(self.victim, rogue)],
+                description=stream.description,
+            )
+
+    manager_a.bitlinker = LeakyLinker(
+        manager_a.bitlinker, slot.region.frame_addresses[0]
+    )
+    with pytest.raises(ReconfigurationError, match="disturbed configuration"):
+        manager_a.clear()
+
+
+def test_clear_of_one_region_preserves_the_other():
+    from repro.core.multiregion import build_system64_dual
+
+    system, slot = build_system64_dual()
+    manager_a = ReconfigManager(system)
+    manager_b = ReconfigManager(system, slot=slot)
+    for manager in (manager_a, manager_b):
+        manager.register(BrightnessKernel(5))
+        manager.load("brightness")
+    frames_b = {
+        address: system.config_memory.read_frame(address)
+        for address in slot.region.frame_addresses
+    }
+    manager_a.clear()
+    for address, expected in frames_b.items():
+        assert np.array_equal(system.config_memory.read_frame(address), expected)

@@ -95,3 +95,47 @@ def test_write_wait_states(icap):
     )
     assert wait == OpbHwIcap.WRITE_WAIT
     controller.reset()
+
+
+def test_ndarray_burst_accepted_by_reference_path(icap):
+    # Regression: with the fast path disabled, an ndarray burst payload to
+    # REG_DATA used to hit the scalar int() coercion and raise TypeError.
+    from repro.engine import fastpath
+
+    controller, memory = icap
+    words = sample_bitstream().to_words()
+    with fastpath.disabled():
+        controller.access(
+            Transaction(Op.WRITE, 0x9000_0000 + REG_DATA, data=words, beats=len(words)),
+            0,
+        )
+        controller.access(Transaction(Op.WRITE, 0x9000_0000 + REG_CONTROL, data=1), 0)
+    assert controller.frames_written == 2
+    assert memory.read_frame(FrameAddress(BlockType.CLB, 0, 0))[0] == 0xA5
+    assert controller.stats.get("data_writes") == len(words)
+
+
+def test_ndarray_burst_equivalent_across_paths():
+    from repro.engine import fastpath
+
+    def ingest():
+        memory = ConfigMemory(XC2VP4)
+        controller = OpbHwIcap(memory, base=0x9000_0000)
+        words = sample_bitstream().to_words()
+        wait, _ = controller.access(
+            Transaction(Op.WRITE, 0x9000_0000 + REG_DATA, data=words, beats=len(words)),
+            0,
+        )
+        controller.access(Transaction(Op.WRITE, 0x9000_0000 + REG_CONTROL, data=1), 0)
+        return (
+            wait,
+            controller.frames_written,
+            controller.stats.get("data_writes"),
+            memory.read_frame(FrameAddress(BlockType.CLB, 0, 1)).tobytes(),
+        )
+
+    with fastpath.forced_on():
+        fast = ingest()
+    with fastpath.disabled():
+        slow = ingest()
+    assert fast == slow

@@ -140,3 +140,63 @@ def test_crc_failure_identical():
     assert "bad bitstream" in message and "CRC" in message
     assert crc_failures == 1
     assert frames_written == 0
+
+
+# -- robust loading ----------------------------------------------------------
+def test_clean_robust_load_identical():
+    def observables():
+        system, manager = build_rig64()
+        result = manager.load_robust(KERNEL, verify_samples=4)
+        return (
+            system.cpu.now_ps,
+            result.elapsed_ps,
+            result.verify_ps,
+            result.frames_verified,
+            result.attempts,
+            result.scrubbed_frames,
+            result.fallback,
+            system.hwicap.stats.snapshot(),
+        )
+
+    fast, slow = _both(observables)
+    assert fast == slow
+
+
+def test_faulted_robust_load_identical():
+    from repro.faults import FaultPlan, armed
+
+    def observables():
+        system, manager = build_rig64()
+        plan = FaultPlan(909, seu_feeds={0}, post_commit_upsets={0})
+        with armed(system, plan):
+            result = manager.load_robust(KERNEL)
+        memory = system.config_memory
+        return {
+            "now_ps": system.cpu.now_ps,
+            "attempts": result.attempts,
+            "scrubbed": result.scrubbed_frames,
+            "rolled_back": result.rolled_back,
+            "faults": plan.summary(),
+            "crc_failures": system.hwicap.crc_failures,
+            "icap_stats": system.hwicap.stats.snapshot(),
+            "memory_bytes": {
+                address: data.tobytes() for address, data in memory.snapshot().items()
+            },
+        }
+
+    fast, slow = _both(observables)
+    assert fast == slow
+
+
+def test_unarmed_hooks_do_not_change_observables():
+    # The no-plan-armed contract: loading with hooks present but unarmed is
+    # byte-identical to the pre-fault-subsystem behaviour in both worlds —
+    # the equivalence suite above pins fast == slow, this pins armed-None.
+    def observables():
+        system, manager = build_rig64()
+        assert system.fault_plan is None
+        result = manager.load(KERNEL, verify=True, verify_samples=4)
+        return (system.cpu.now_ps, result.elapsed_ps, result.frames_verified)
+
+    fast, slow = _both(observables)
+    assert fast == slow

@@ -77,3 +77,39 @@ def test_functional_readback_helper(system32):
     address = FrameAddress(BlockType.CLB, 0, 0)
     frame = system32.hwicap.readback_frame(address)
     assert np.array_equal(frame, system32.config_memory.read_frame(address))
+
+
+def test_verify_samples_zero_is_rejected(system32):
+    manager = ReconfigManager(system32)
+    manager.register(BrightnessKernel(5))
+    with pytest.raises(ValueError, match="verify_samples"):
+        manager.load("brightness", verify=True, verify_samples=0)
+
+
+def test_verify_samples_are_clamped_and_exact(system32):
+    manager = ReconfigManager(system32)
+    manager.register(BrightnessKernel(5))
+    # Requesting more samples than frames checks every frame exactly once.
+    result = manager.load("brightness", verify=True, verify_samples=10**6)
+    assert result.frames_verified == result.frame_count
+    # A small sample count checks exactly that many distinct frames —
+    # never more (the old stride-based sampling could double the count).
+    sampled = manager.load("brightness", verify=True, verify_samples=3)
+    assert sampled.frames_verified == 3
+
+
+def test_verify_charges_readback_not_status_reads(system32):
+    manager = ReconfigManager(system32)
+    manager.register(BrightnessKernel(5))
+    icap = system32.hwicap
+    status_before = icap.stats.get("status_reads")
+    readback_before = icap.stats.get("readback_reads")
+    result = manager.load("brightness", verify=True, verify_samples=4)
+    # Readback verification polls RDATA, never STATUS; the batched tail of
+    # each frame must land on the readback counter like the word loop would.
+    assert icap.stats.get("status_reads") == status_before
+    words_per_frame = system32.device.words_per_frame
+    assert (
+        icap.stats.get("readback_reads") - readback_before
+        == result.frames_verified * words_per_frame
+    )

@@ -1,0 +1,206 @@
+"""Tests for the fault-tolerant loader (ReconfigManager.load_robust) and
+the standalone readback scrubber."""
+
+import numpy as np
+import pytest
+
+from repro.core.reconfig import ReconfigManager
+from repro.errors import ReconfigurationError
+from repro.faults import FaultPlan, armed
+from repro.kernels import BrightnessKernel, JenkinsHashKernel
+
+
+def _manager(system):
+    manager = ReconfigManager(system)
+    manager.register(BrightnessKernel(5))
+    manager.register(JenkinsHashKernel())
+    return manager
+
+
+def _memories_equal(memory, other):
+    mine, theirs = memory.snapshot(), other.snapshot()
+    if set(mine) != set(theirs):
+        return False
+    return all(np.array_equal(mine[addr], theirs[addr]) for addr in mine)
+
+
+# -- clean path --------------------------------------------------------------
+
+def test_clean_robust_load_succeeds_first_attempt(system32):
+    manager = _manager(system32)
+    result = manager.load_robust("brightness")
+    assert result.attempts == 1
+    assert result.scrubbed_frames == 0
+    assert not result.fallback
+    assert not result.rolled_back
+    assert manager.active == "brightness"
+    assert system32.dock.kernel is not None
+    # The default scan reads back every written frame.
+    assert result.frames_verified == result.frame_count
+    assert result.verify_ps > 0
+    assert result.elapsed_ps >= result.verify_ps
+
+
+def test_robust_load_costs_more_than_plain(system32):
+    plain = _manager(system32).load("brightness")
+    from repro.core import build_system32
+
+    fresh = build_system32()
+    robust = _manager(fresh).load_robust("brightness")
+    assert robust.elapsed_ps > plain.elapsed_ps
+
+
+def test_robust_load_validates_arguments(system32):
+    manager = _manager(system32)
+    with pytest.raises(ValueError, match="max_attempts"):
+        manager.load_robust("brightness", max_attempts=0)
+    with pytest.raises(ValueError, match="verify_samples"):
+        manager.load_robust("brightness", verify_samples=0)
+    with pytest.raises(ReconfigurationError, match="not registered"):
+        manager.load_robust("ghost")
+
+
+# -- recovery from injected faults -------------------------------------------
+
+def test_seu_in_staged_stream_is_retried(system32):
+    manager = _manager(system32)
+    plan = FaultPlan(101, seu_feeds={0})
+    with armed(system32, plan):
+        result = manager.load_robust("brightness")
+    assert result.attempts == 2
+    assert not result.fallback
+    assert plan.faults_delivered == 1
+    # The CRC rejection left memory untouched, so no rollback was needed.
+    assert not result.rolled_back
+    # The recovered configuration matches a fault-free load.
+    from repro.core import build_system32
+
+    clean = build_system32()
+    _manager(clean).load_robust("brightness")
+    assert _memories_equal(system32.config_memory, clean.config_memory)
+
+
+def test_forced_commit_failure_is_retried(system32):
+    manager = _manager(system32)
+    plan = FaultPlan(102, commit_faults={0})
+    with armed(system32, plan):
+        result = manager.load_robust("brightness")
+    assert result.attempts == 2
+    assert not result.fallback
+
+
+def test_post_commit_upset_is_scrubbed_in_load(system32):
+    manager = _manager(system32)
+    plan = FaultPlan(103, post_commit_upsets={0})
+    with armed(system32, plan):
+        result = manager.load_robust("brightness")
+    assert result.attempts == 1
+    assert result.scrubbed_frames >= 1
+    assert not result.fallback
+    from repro.core import build_system32
+
+    clean = build_system32()
+    _manager(clean).load_robust("brightness")
+    assert _memories_equal(system32.config_memory, clean.config_memory)
+
+
+def test_recovery_is_reproducible(system32):
+    from repro.core import build_system32
+
+    def run():
+        system = build_system32()
+        manager = _manager(system)
+        plan = FaultPlan(77, seu_feeds={0}, post_commit_upsets={0})
+        with armed(system, plan):
+            result = manager.load_robust("brightness")
+        return (
+            plan.summary(),
+            result.attempts,
+            result.scrubbed_frames,
+            result.elapsed_ps,
+            system.cpu.now_ps,
+        )
+
+    assert run() == run()
+
+
+# -- graceful degradation ----------------------------------------------------
+
+def test_fallback_to_software_after_exhausted_attempts(system32):
+    manager = _manager(system32)
+    manager.register_software("brightness", "sw:brightness")
+    baseline = system32.config_memory.snapshot()
+    plan = FaultPlan(104, seu_feeds={0, 1, 2})
+    with armed(system32, plan):
+        result = manager.load_robust("brightness", max_attempts=3)
+    assert result.fallback
+    assert result.rolled_back
+    assert result.kind == "software-fallback"
+    assert result.attempts == 3
+    assert manager.active is None
+    assert system32.dock.kernel is None
+    assert manager.software("brightness") == "sw:brightness"
+    # The region was rolled back to its pre-load state.
+    after = system32.config_memory.snapshot()
+    assert set(after) == set(baseline)
+    assert all(np.array_equal(after[a], baseline[a]) for a in after)
+
+
+def test_software_registered_alongside_kernel(system32):
+    manager = ReconfigManager(system32)
+    manager.register(BrightnessKernel(5), software="impl")
+    assert manager.software("brightness") == "impl"
+
+
+def test_exhausted_attempts_without_fallback_raise(system32):
+    manager = _manager(system32)
+    baseline = system32.config_memory.snapshot()
+    plan = FaultPlan(105, seu_feeds={0, 1})
+    with armed(system32, plan):
+        with pytest.raises(ReconfigurationError, match="after 2 attempt"):
+            manager.load_robust("brightness", max_attempts=2)
+    after = system32.config_memory.snapshot()
+    assert all(np.array_equal(after[a], baseline[a]) for a in after)
+
+
+def test_fallback_disabled_raises_even_with_software(system32):
+    manager = _manager(system32)
+    manager.register_software("brightness", "sw")
+    plan = FaultPlan(106, seu_feeds={0})
+    with armed(system32, plan):
+        with pytest.raises(ReconfigurationError):
+            manager.load_robust("brightness", max_attempts=1, allow_fallback=False)
+
+
+# -- standalone scrubbing ----------------------------------------------------
+
+def test_scrub_repairs_an_idle_upset(system32):
+    manager = _manager(system32)
+    manager.load_robust("brightness")
+    golden = system32.config_memory.snapshot()
+    plan = FaultPlan(107, upset_flips=2)
+    flipped = plan.upset_now(system32.config_memory)
+    assert flipped
+    report = manager.scrub()
+    assert report.frames_checked == len(golden)
+    assert report.frames_repaired >= 1
+    assert report.elapsed_ps > 0
+    after = system32.config_memory.snapshot()
+    assert all(np.array_equal(after[a], golden[a]) for a in golden)
+    # A second pass finds nothing left to repair.
+    assert manager.scrub().frames_repaired == 0
+
+
+def test_scrub_without_golden_snapshot_raises(system32):
+    manager = _manager(system32)
+    with pytest.raises(ReconfigurationError, match="golden"):
+        manager.scrub()
+
+
+def test_mark_golden_enables_scrub(system32):
+    manager = _manager(system32)
+    manager.load("brightness")  # plain load does not set the golden snapshot
+    with pytest.raises(ReconfigurationError, match="golden"):
+        manager.scrub()
+    manager.mark_golden()
+    assert manager.scrub().frames_repaired == 0

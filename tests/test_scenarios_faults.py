@@ -1,0 +1,56 @@
+"""Tests for the fault-campaign scenarios (repro.scenarios.faults)."""
+
+from repro.faults.campaign import DEFAULT_KINDS, run_campaign
+from repro.scenarios.registry import get_scenario, run_scenario
+from repro.scenarios.rigs import build_rig64
+
+
+def test_fault_campaign_smoke_rows_and_invariants():
+    result = run_scenario("fault_campaign", smoke=True)
+    assert result.name == "fault_campaign"
+    # Smoke runs one trial of every fault kind.
+    assert len(result.rows) == len(DEFAULT_KINDS)
+    headline = result.headline
+    assert headline["trials"] == len(DEFAULT_KINDS)
+    # Every injected fault is at least handled (recovered or degraded)...
+    assert headline["handled_rate"] == 1.0
+    # ...SEUs in the staged stream are always recoverable by retrying...
+    assert headline["seu_recovery_rate"] == 1.0
+    # ...and the forced-fallback kind always degrades to software.
+    assert headline["fallback_kind_rate"] == 1.0
+    assert headline["recovery_rate"] >= 1.0 - headline["fallback_rate"]
+    assert headline["clean_load_ps"] > 0
+    assert headline["total_faults"] >= len(DEFAULT_KINDS)
+
+
+def test_fault_campaign_is_deterministic():
+    one = run_scenario("fault_campaign", smoke=True)
+    two = run_scenario("fault_campaign", smoke=True)
+    assert one.to_dict() == two.to_dict()
+
+
+def test_campaign_report_reproduces_from_seed():
+    first = run_campaign(build_rig64, kinds=("seu", "commit"), trials=1, seed=5)
+    second = run_campaign(build_rig64, kinds=("seu", "commit"), trials=1, seed=5)
+    assert first.trials == second.trials
+    assert first.clean_load_ps == second.clean_load_ps
+    third = run_campaign(build_rig64, kinds=("seu", "commit"), trials=1, seed=6)
+    assert [t.detail for t in third.trials] != [t.detail for t in first.trials]
+
+
+def test_robust_overhead_scenario():
+    result = run_scenario("robust_overhead")
+    headline = result.headline
+    assert headline["plain_ps"] > 0
+    # Verification is extra work: overhead strictly above the plain load,
+    # and the full-scan robust load costs at least the sampled verify.
+    assert headline["sampled_overhead"] > 1.0
+    assert headline["robust_overhead"] >= headline["sampled_overhead"]
+    assert headline["frames_verified_robust"] > 0
+
+
+def test_fault_scenarios_are_registered_with_tags():
+    for name in ("fault_campaign", "robust_overhead"):
+        entry = get_scenario(name)
+        assert "faults" in entry.tags
+        assert "reconfig" in entry.tags
