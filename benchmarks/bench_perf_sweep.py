@@ -1,0 +1,162 @@
+"""Host-wall-clock perf bench for the batch-compiled engine core.
+
+Times the ``perf_engine_e2e`` workload — the per-word PIO driver loops the
+steady-state compiler (:mod:`repro.engine.batch`) compresses — on both
+systems with the compiler on and off, verifies the two paths agree on
+every simulated observable (timestamps, task results, aggregate stats),
+and writes ``benchmarks/results/BENCH_engine.json``.
+
+Run directly (report-only)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_sweep.py
+
+or with ``--check`` to additionally enforce the speedup floors on the
+batchable tasks (the reference path is the seed implementation's
+event-by-event interpreter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.engine import fastpath  # noqa: E402
+from repro.engine.batch import reset_telemetry, telemetry  # noqa: E402
+from repro.scenarios.perf import _checksum, engine_workload_tasks  # noqa: E402
+from repro.scenarios.rigs import build_rig32, build_rig64  # noqa: E402
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "BENCH_engine.json")
+
+#: Tasks checked/reported per system, with the --check speedup floors.
+#: Floors apply to the batchable subset (per-word PIO driver loops); the
+#: patmatch/lookup2 tasks interleave per-strip/per-block software work
+#: with the streaming loops, so their floors sit lower than the pure
+#: image-streaming tasks.
+FLOORS = {
+    "system32/brightness": 10.0,
+    "system32/fade": 10.0,
+    "system64/brightness": 10.0,
+    "system64/fade": 10.0,
+    "system32/patmatch": 1.5,
+    "system32/lookup2": 3.0,
+}
+
+
+def _run_workload(fast: bool, height: int, width: int):
+    """One timed run: per-task host seconds + simulated observables."""
+    context = fastpath.forced_on() if fast else fastpath.disabled()
+    with context:
+        host = {}
+        observables = {}
+        reset_telemetry()
+        for label, build in (("system32", build_rig32), ("system64", build_rig64)):
+            system, manager = build()  # rig build stays outside the timers
+            total = 0.0
+            # Timers wrap exactly each driver loop; the kernel loads in
+            # between (already fast-pathed elsewhere) stay untimed.
+            for task, thunk in engine_workload_tasks(system, manager, height, width):
+                start = time.perf_counter()
+                run_result = thunk()
+                elapsed = time.perf_counter() - start
+                host[f"{label}/{task}"] = elapsed
+                total += elapsed
+                observables[f"{label}/{task}"] = (
+                    run_result.elapsed_ps,
+                    _checksum(run_result.result),
+                )
+            host[label] = total
+            observables[f"{label}/now_ps"] = system.cpu.now_ps
+            observables[f"{label}/stats"] = _stats_snapshot(system)
+        compile_stats = telemetry().as_dict()
+    return host, observables, compile_stats
+
+
+def _stats_snapshot(system):
+    groups = [system.cpu.stats, system.plb.stats, system.dock.stats]
+    opb = getattr(system, "opb", None)
+    if opb is not None:
+        groups.append(opb.stats)
+    fifo = getattr(system.dock, "fifo", None)
+    if fifo is not None:
+        groups.append(fifo.stats)
+    return {g.name: g.snapshot() for g in groups}
+
+
+def run(check: bool, height: int, width: int) -> int:
+    fast_host, fast_obs, compile_stats = _run_workload(True, height, width)
+    slow_host, slow_obs, _ = _run_workload(False, height, width)
+
+    failures = []
+    if fast_obs != slow_obs:
+        for key in fast_obs:
+            if fast_obs[key] != slow_obs[key]:
+                failures.append(
+                    f"observable {key!r} diverged between compiled and reference paths"
+                )
+
+    report = {
+        "unit": "host seconds per task",
+        "workload": f"perf_engine_e2e workload at {height}x{width} on both systems",
+        "compiler_telemetry": compile_stats,
+        "tasks": [],
+        "speedups": {},
+    }
+    for key in sorted(k for k in fast_host if "/" in k):
+        speedup = slow_host[key] / fast_host[key] if fast_host[key] else float("inf")
+        report["tasks"].append(
+            {
+                "task": key,
+                "host_s_fast": round(fast_host[key], 6),
+                "host_s_reference": round(slow_host[key], 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+        report["speedups"][key] = round(speedup, 2)
+        print(
+            f"{key:>22}: fast {fast_host[key] * 1e3:8.2f} ms  "
+            f"reference {slow_host[key] * 1e3:8.2f} ms  speedup {speedup:6.1f}x"
+        )
+        floor = FLOORS.get(key)
+        if check and floor is not None and speedup < floor:
+            failures.append(f"{key} speedup {speedup:.1f}x < {floor:.0f}x floor")
+    for label in ("system32", "system64"):
+        total = slow_host[label] / fast_host[label] if fast_host[label] else float("inf")
+        report["speedups"][label] = round(total, 2)
+        print(
+            f"{label + ' (all)':>22}: fast {fast_host[label] * 1e3:8.2f} ms  "
+            f"reference {slow_host[label] * 1e3:8.2f} ms  speedup {total:6.1f}x"
+        )
+
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the speedup floors (default: report-only)",
+    )
+    parser.add_argument("--height", type=int, default=96)
+    parser.add_argument("--width", type=int, default=96)
+    args = parser.parse_args()
+    return run(check=args.check, height=args.height, width=args.width)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,8 @@ device occupies frame bits ``[r*B, (r+1)*B)`` with ``B = bits_per_frame_row``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import hashlib
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +43,87 @@ def full_configuration_frames(
     return frames
 
 
+class RigMemoTelemetry:
+    """Counters for the rig-level static-configuration memo (observability
+    for tests and the sweep CLI; not part of any simulated statistic)."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
+
+
+_RIG_TELEMETRY = RigMemoTelemetry()
+
+#: In-process memo: key -> (frame data, written mask, write count).
+_STATIC_MEMO: Dict[str, Tuple[np.ndarray, np.ndarray, int]] = {}
+
+#: Optional disk-backed second level (installed by the sweep layer via
+#: :func:`set_rig_cache`; ``None`` keeps the memo purely in-process).
+#: The indirection avoids a core -> sweep import inversion.
+_RIG_CACHE: Optional[object] = None
+
+
+def rig_memo_telemetry() -> RigMemoTelemetry:
+    return _RIG_TELEMETRY
+
+
+def reset_rig_memo() -> None:
+    """Drop all memoized static configurations (tests / cache hygiene)."""
+    _STATIC_MEMO.clear()
+    _RIG_TELEMETRY.reset()
+
+
+def set_rig_cache(cache: Optional[object]) -> None:
+    """Install a disk-backed rig cache (``load(key)``/``store(key, ...)``).
+
+    Pass ``None`` to detach.  See :class:`repro.sweep.rigcache.RigCache`.
+    """
+    global _RIG_CACHE
+    _RIG_CACHE = cache
+
+
+def static_configuration_key(
+    memory: ConfigMemory, region: Optional[Region], seed: str
+) -> str:
+    """Content address of one static-configuration result.
+
+    The generated image is fully determined by the device geometry, the
+    region rectangle (whose rows are blanked), the seed string, and the
+    package version (fencing any change to the generator itself) — the
+    same keying discipline as the sweep result cache.
+    """
+    from .. import __version__  # deferred: repro/__init__ imports this module
+
+    device = memory.device
+    region_part = "none" if region is None else repr(region.rect)
+    text = "\n".join(
+        [
+            device.name,
+            str(device.total_frames),
+            str(memory.geometry.words_per_frame),
+            region_part,
+            seed,
+            __version__,
+        ]
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def initialize_static_configuration(
     memory: ConfigMemory, region: Optional[Region], seed: str
 ) -> None:
@@ -50,7 +132,35 @@ def initialize_static_configuration(
     After this, frames covering the region's columns still contain static
     bits in the rows *above and below* the region — the exact hazard the
     paper's partial configurations must not disturb.
+
+    The result is memoized per (device, region, seed, version): every rig
+    built for the same scenario parameters produces the identical image, so
+    the frame generation loop runs once per key and later builds restore
+    the arrays (same data, same ``writes`` accounting).  Disabled together
+    with the other fast paths by ``REPRO_NO_FAST_PATH``.
     """
+    from ..engine import fastpath
+
+    use_memo = fastpath.enabled() and not memory.has_extra_frames()
+    key = static_configuration_key(memory, region, seed) if use_memo else None
+    if use_memo:
+        hit = _STATIC_MEMO.get(key)
+        if hit is None and _RIG_CACHE is not None:
+            hit = _RIG_CACHE.load(key)
+            if hit is not None:
+                _STATIC_MEMO[key] = hit
+                _RIG_TELEMETRY.disk_hits += 1
+        elif hit is not None:
+            _RIG_TELEMETRY.memory_hits += 1
+        if hit is not None:
+            data, written, n_writes = hit
+            memory._data[...] = data
+            memory._written[...] = written
+            memory.writes += n_writes
+            return
+        _RIG_TELEMETRY.misses += 1
+
+    writes_before = memory.writes
     frames = full_configuration_frames(memory, seed)
     region_mask = None
     region_addresses: set[FrameAddress] = set()
@@ -61,6 +171,16 @@ def initialize_static_configuration(
         if region_mask is not None and address in region_addresses:
             data = data & ~region_mask
         memory.write_frame(address, data)
+
+    if use_memo and not memory.has_extra_frames():
+        entry = (
+            memory._data.copy(),
+            memory._written.copy(),
+            memory.writes - writes_before,
+        )
+        _STATIC_MEMO[key] = entry
+        if _RIG_CACHE is not None:
+            _RIG_CACHE.store(key, *entry)
 
 
 def placement_frame_content(

@@ -28,6 +28,11 @@ module.  The rules encode the modelling contract documented in
   hides programming errors (the fault-injection subsystem exists to
   *exercise* error paths; silently eating them defeats it).  Catch the
   specific expected errors, or re-raise.
+* **LINT008** — batch-phase purity.  The ``bulk`` callback handed to
+  :func:`repro.engine.batch.run_steady` owns *data movement only*; the
+  compiler charges time and statistics by extrapolation.  A bulk body
+  that drives CPU/bus primitives or writes timing cursors double-charges
+  the phase and silently breaks fast/slow equivalence.
 
 Per-line suppression: append ``# repro: noqa RULE-ID[,RULE-ID...]`` to
 silence named rules on that line, or ``# repro: noqa`` to silence all.
@@ -91,6 +96,13 @@ register_rule(
     "re-raising hides programming errors behind fault-handling code; "
     "catch the expected error types instead.",
 )
+register_rule(
+    "LINT008",
+    "engine-mutation-in-bulk-phase",
+    "A run_steady bulk callback moves data only; the phase compiler "
+    "extrapolates time and statistics, so engine-state mutation inside it "
+    "double-charges the phase and breaks fast/slow equivalence.",
+)
 
 #: Calls that read the host clock: root module name -> attribute names.
 _WALL_CLOCK = {
@@ -139,6 +151,37 @@ _MUTATING_METHODS = {
     "appendleft",
     "extendleft",
 }
+
+#: Engine primitives that advance time or charge statistics (LINT008).
+#: The compiled fast path extrapolates both, so a ``bulk`` body calling
+#: one of these charges the phase twice.  ``feed_words``/``drain_words``
+#: are the sanctioned data-movement primitives and are deliberately
+#: absent.
+_ENGINE_MUTATORS = {
+    "io_read",
+    "io_write",
+    "io_read_batch",
+    "io_write_batch",
+    "execute_cycles",
+    "elapse_cycles",
+    "elapse_ps",
+    "request",
+    "request_burst",
+    "request_concurrent",
+    "take_interrupt",
+    "return_from_interrupt",
+    "charge_stream_read",
+    "charge_stream_write",
+    "count",
+    "record",
+    "count_many",
+    "record_many",
+}
+
+#: Attribute names whose assignment inside a bulk body rewrites a timing
+#: cursor behind the compiler's back (LINT008).
+_TIMING_CURSORS = {"now_ps"}
+_TIMING_CURSOR_SUFFIX = "busy_until"
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9,\s-]+))?", re.IGNORECASE)
 
@@ -302,6 +345,83 @@ def _float_tainted(node: ast.AST) -> bool:
     if isinstance(node, ast.IfExp):
         return _float_tainted(node.body) or _float_tainted(node.orelse)
     return False
+
+
+def _bulk_callback_bodies(tree: ast.Module) -> List[ast.AST]:
+    """Function bodies handed as the ``bulk`` argument to ``run_steady``.
+
+    Collects inline lambdas directly, and resolves plain-name arguments to
+    the module's def of that name (the overwhelmingly common shape: a
+    nested ``def bulk(start, count)`` passed by name).
+    """
+    names: Set[str] = set()
+    bodies: List[ast.AST] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+        if callee != "run_steady":
+            continue
+        bulk_arg: Optional[ast.AST] = node.args[3] if len(node.args) >= 4 else None
+        for keyword in node.keywords:
+            if keyword.arg == "bulk":
+                bulk_arg = keyword.value
+        if isinstance(bulk_arg, ast.Lambda):
+            bodies.append(bulk_arg)
+        elif isinstance(bulk_arg, ast.Name):
+            names.add(bulk_arg.id)
+        elif isinstance(bulk_arg, ast.IfExp):
+            # ``bulk if use_bulk else None`` — resolve both arms.
+            for arm in (bulk_arg.body, bulk_arg.orelse):
+                if isinstance(arm, ast.Name):
+                    names.add(arm.id)
+                elif isinstance(arm, ast.Lambda):
+                    bodies.append(arm)
+    if names:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in names:
+                    bodies.append(node)
+    return bodies
+
+
+def _scan_bulk_purity(tree: ast.Module, report: CheckReport, path: str) -> None:
+    """LINT008: no engine-state mutation inside a run_steady bulk body."""
+    hint = (
+        "bulk callbacks move data only (feed_words/drain_words); the phase "
+        "compiler charges time and stats by extrapolation"
+    )
+    for body in _bulk_callback_bodies(tree):
+        label = getattr(body, "name", "<lambda>")
+        for child in ast.walk(body):
+            if isinstance(child, ast.Call) and isinstance(child.func, ast.Attribute):
+                if child.func.attr in _ENGINE_MUTATORS:
+                    report.add(
+                        "LINT008",
+                        f"bulk callback {label!r} calls engine mutator "
+                        f".{child.func.attr}() inside a compiled phase",
+                        file=path,
+                        line=child.lineno,
+                        hint=hint,
+                    )
+            elif isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign) else [child.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and (
+                        target.attr in _TIMING_CURSORS
+                        or target.attr.endswith(_TIMING_CURSOR_SUFFIX)
+                    ):
+                        report.add(
+                            "LINT008",
+                            f"bulk callback {label!r} writes timing cursor "
+                            f".{target.attr} inside a compiled phase",
+                            file=path,
+                            line=child.lineno,
+                            hint=hint,
+                        )
 
 
 class _Visitor(ast.NodeVisitor):
@@ -556,6 +676,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
         )
         return report.diagnostics
     _Visitor(path, report, module_names=_module_level_names(tree)).visit(tree)
+    _scan_bulk_purity(tree, report, path)
     suppressions = _parse_suppressions(source)
     _unsuppressed = object()
     kept: List[Diagnostic] = []

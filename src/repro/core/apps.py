@@ -17,6 +17,7 @@ from typing import List
 import numpy as np
 
 from ..cpu.isa import InstructionMix
+from ..engine.batch import run_steady
 from ..errors import KernelError, ReconfigurationError
 from ..kernels.image_ops import FLUSH_OFFSET
 from ..kernels.jenkins_hash import LENGTH_OFFSET as HASH_LENGTH_OFFSET
@@ -32,6 +33,21 @@ from .system import System
 
 #: Loop bookkeeping per PIO transfer in the driver loops.
 LOOP_CYCLES = 4
+
+#: Batchable-phase names the drivers declare to the steady-state compiler
+#: (`repro.engine.batch.run_steady`).  Rigs opt systems in via
+#: `repro.engine.batch.declare_phases`; on undeclared systems every loop
+#: below runs the per-word reference path.
+PHASE_PIO_WRITE = "pio-write"
+PHASE_PIO_READ = "pio-read"
+PHASE_PIO_STREAM = "pio-stream"
+PHASE_PIO_PAIRED = "pio-paired"
+PIO_PHASES = (PHASE_PIO_WRITE, PHASE_PIO_READ, PHASE_PIO_STREAM, PHASE_PIO_PAIRED)
+
+#: Bulk feed/drain chunk: keeps a bounded output FIFO from seeing more
+#: than its depth in flight at once while staying wide enough to amortize
+#: the NumPy calls.
+_BULK_CHUNK = 1024
 #: CPU cost of interleaving one output-pixel's worth of two source images —
 #: the paper's "data preparation".  The PIO path does it on the fly inside
 #: the transfer loop (masks/shifts around each store); the DMA path runs a
@@ -51,22 +67,36 @@ def _require_kernel(system: System, expected: str) -> None:
 
 
 def _write_words(system: System, words: List[int], offset: int = 0) -> None:
-    """Programmed-I/O write loop (functional, per-word timing)."""
+    """Programmed-I/O write loop (per-word timing, batch-compilable)."""
     base = system.dock.base + offset
     cpu = system.cpu
-    for word in words:
-        cpu.io_write(base, word)
+    dock = system.dock
+
+    def step(i: int) -> None:
+        cpu.io_write(base, words[i])
         cpu.execute_cycles(LOOP_CYCLES)
+
+    def bulk(start: int, n: int) -> None:
+        dock.feed_words(words[start : start + n], 32, offset)
+
+    run_steady(system, len(words), step, bulk, phase=PHASE_PIO_WRITE)
 
 
 def _read_words(system: System, count: int, offset: int = 0) -> List[int]:
-    """Programmed-I/O read loop (functional, per-word timing)."""
+    """Programmed-I/O read loop (per-word timing, batch-compilable)."""
     base = system.dock.base + offset
     cpu = system.cpu
-    out = []
-    for _ in range(count):
+    dock = system.dock
+    out: List[int] = []
+
+    def step(i: int) -> None:
         out.append(cpu.io_read(base))
         cpu.execute_cycles(LOOP_CYCLES)
+
+    def bulk(start: int, n: int) -> None:
+        out.extend(dock.drain_words(n, 32, offset))
+
+    run_steady(system, count, step, bulk, phase=PHASE_PIO_READ)
     return out
 
 
@@ -88,14 +118,14 @@ class HwPatternMatch:
         width = img.shape[1]
         cpu = system.cpu
         start = cpu.now_ps
-        counts_rows: List[List[int]] = []
+        counts_rows: List[np.ndarray] = []
         for strip in range(strips):
             kernel.reset()
-            cols = PatternMatchKernel.strip_columns(img, strip)
-            words = [
-                sum(cols[i + j] << (8 * j) for j in range(4) if i + j < len(cols))
-                for i in range(0, len(cols), 4)
-            ]
+            cols = np.asarray(PatternMatchKernel.strip_columns(img, strip), dtype=np.uint64)
+            pad = (-len(cols)) % 4
+            if pad:
+                cols = np.concatenate([cols, np.zeros(pad, dtype=np.uint64)])
+            words = [int(w) for w in PatternMatchKernel._pack_block(cols, 4, 8)]
             # The column words are loaded from external memory...
             charge_word_reads(system, memmap.STAGE_INPUT, len(words))
             # ...pushed through the dock...
@@ -105,10 +135,10 @@ class HwPatternMatch:
             expect_words = (width - 7 + 3) // 4
             result_words = _read_words(system, expect_words)
             charge_word_writes(system, memmap.STAGE_OUTPUT, expect_words)
-            counts: List[int] = []
-            for word in result_words:
-                counts.extend((word >> (8 * j)) & 0xFF for j in range(4))
-            counts_rows.append(counts[: width - 7])
+            counts = PatternMatchKernel._split_block(
+                np.asarray(result_words, dtype=np.uint64), 32, 8
+            )
+            counts_rows.append(counts[: width - 7].astype(np.int32))
         result = np.array(counts_rows, dtype=np.int32)
         return RunResult(result=result, elapsed_ps=cpu.now_ps - start, label=self.name)
 
@@ -190,10 +220,23 @@ class HwBrightnessPio(_HwImageBase):
         words = self._pack(pixels, 4)
         charge_word_reads(system, memmap.STAGE_INPUT, len(words))
         out_words: List[int] = []
-        for word in words:
-            cpu.io_write(system.dock.base, word)
-            out_words.append(cpu.io_read(system.dock.base))
+        dock = system.dock
+        base = dock.base
+
+        def step(i: int) -> None:
+            cpu.io_write(base, words[i])
+            out_words.append(cpu.io_read(base))
             cpu.execute_cycles(LOOP_CYCLES)
+
+        def bulk(start: int, n: int) -> None:
+            # Chunked so a bounded output FIFO never holds more than its
+            # depth between the feed and the matching drain.
+            for j in range(start, start + n, _BULK_CHUNK):
+                chunk = min(_BULK_CHUNK, start + n - j)
+                dock.feed_words(words[j : j + chunk], 32, 0)
+                out_words.extend(dock.drain_words(chunk, 32, 0))
+
+        run_steady(system, len(words), step, bulk, phase=PHASE_PIO_STREAM)
         cpu.io_write(system.dock.base + FLUSH_OFFSET, 0)
         tail = system.dock.pending_outputs if hasattr(system.dock, "pending_outputs") else len(system.dock.fifo)
         out_words.extend(_read_words(system, tail))
@@ -224,11 +267,28 @@ class _HwTwoSourcePio(_HwImageBase):
         cpu.execute_cycles(PREP_PIO_CYCLES_PER_PIXEL * a_flat.size)
         prep_ps = cpu.now_ps - prep_start
         out_words: List[int] = []
-        for index, word in enumerate(words):
-            cpu.io_write(system.dock.base, word)
+        dock = system.dock
+        base = dock.base
+        pairs = len(words) // 2
+
+        def step(i: int) -> None:
+            # Every two input words complete 4 output px: write, write, read.
+            cpu.io_write(base, words[2 * i])
             cpu.execute_cycles(LOOP_CYCLES)
-            if index % 2 == 1:  # every two input words complete 4 output px
-                out_words.append(cpu.io_read(system.dock.base))
+            cpu.io_write(base, words[2 * i + 1])
+            cpu.execute_cycles(LOOP_CYCLES)
+            out_words.append(cpu.io_read(base))
+
+        def bulk(start: int, n: int) -> None:
+            for j in range(start, start + n, _BULK_CHUNK):
+                chunk = min(_BULK_CHUNK, start + n - j)
+                dock.feed_words(words[2 * j : 2 * (j + chunk)], 32, 0)
+                out_words.extend(dock.drain_words(chunk, 32, 0))
+
+        run_steady(system, pairs, step, bulk, phase=PHASE_PIO_PAIRED)
+        if len(words) % 2:  # odd trailing word: written, nothing to read yet
+            cpu.io_write(base, words[-1])
+            cpu.execute_cycles(LOOP_CYCLES)
         cpu.io_write(system.dock.base + FLUSH_OFFSET, 0)
         tail = system.dock.pending_outputs if hasattr(system.dock, "pending_outputs") else len(system.dock.fifo)
         out_words.extend(_read_words(system, tail))

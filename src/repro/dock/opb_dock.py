@@ -108,3 +108,40 @@ class OpbDock:
         if self.kernel is not None:
             return self.kernel.read_register(offset) & 0xFFFFFFFF
         return EMPTY_READ_VALUE
+
+    # -- batch-compiler functional layer ----------------------------------
+    # These replay the data path of `_write_word`/`_read_word` for a whole
+    # block WITHOUT touching statistics or time: the steady-state compiler
+    # (`repro.engine.batch`) extrapolates those from its probe iterations,
+    # so charging here would double-count.
+
+    def feed_words(self, values, width_bits: Optional[int] = None, offset: int = 0) -> None:
+        """Bulk ``_write_word`` data path: latch, consume, collect output.
+
+        ``width_bits`` is accepted for signature parity with the PLB dock;
+        this dock's channel is always 32 bits wide.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        if values.size == 0:
+            return
+        masked = values & np.uint64(0xFFFFFFFF)
+        self.write_latch = int(masked[-1])
+        if self.kernel is None:
+            return
+        produced = self.kernel.consume_block(masked, self.WIDTH_BITS, offset)
+        if produced is not None and len(produced):
+            self._output.extend(int(word) & 0xFFFFFFFF for word in produced)
+
+    def drain_words(self, count: int, width_bits: Optional[int] = None, offset: int = 0) -> list:
+        """Bulk ``_read_word`` data path: pending output, then registers."""
+        out = []
+        output = self._output
+        kernel = self.kernel
+        for _ in range(count):
+            if output:
+                out.append(output.popleft())
+            elif kernel is not None:
+                out.append(kernel.read_register(offset) & 0xFFFFFFFF)
+            else:
+                out.append(EMPTY_READ_VALUE)
+        return out

@@ -179,6 +179,45 @@ class PlbDock:
             values = values & np.uint64((1 << width_bits) - 1)
         return values
 
+    # -- batch-compiler functional layer ----------------------------------
+    # Bulk replays of the `_deliver`/`_fetch` data paths that charge no
+    # dock statistics and no time: the steady-state compiler
+    # (`repro.engine.batch`) extrapolates those from its probes.  FIFO
+    # statistics ARE charged (push_many/pop_array) — they belong to the
+    # functional layer in both paths.
+
+    def feed_words(self, values, width_bits: Optional[int] = None, offset: int = 0) -> None:
+        """Bulk ``_deliver`` data path: latch, consume, FIFO append."""
+        width = self.WIDTH_BITS if width_bits is None else width_bits
+        masked = np.asarray(values).astype(np.uint64, copy=False)
+        if len(masked) == 0:
+            return
+        if width < 64:
+            masked = masked & np.uint64((1 << width) - 1)
+        self.write_latch = int(masked[-1])
+        if self.kernel is None:
+            return
+        produced = self.kernel.consume_block(masked, width, offset)
+        if len(produced):
+            self.fifo.push_many(produced)
+
+    def drain_words(self, count: int, width_bits: Optional[int] = None, offset: int = 0) -> list:
+        """Bulk ``_fetch`` data path: FIFO, then PIO output, then registers."""
+        width = self.WIDTH_BITS if width_bits is None else width_bits
+        mask = (1 << width) - 1
+        out: list = []
+        take = min(count, len(self.fifo))
+        if take:
+            out.extend(int(v) & mask for v in self.fifo.pop_array(take))
+        for _ in range(count - take):
+            if self._pio_output:
+                out.append(self._pio_output.popleft() & mask)
+            elif self.kernel is not None:
+                out.append(self.kernel.read_register(offset) & mask)
+            else:
+                out.append(0xDEADC0DE & mask)
+        return out
+
     # -- bus slave -----------------------------------------------------------
     def access(self, txn: Transaction, when_ps: int) -> Tuple[int, Any]:
         offset = txn.address - self.base

@@ -4,6 +4,7 @@ Integer-picosecond time base, clock domains, a small SimPy-style event
 kernel, and statistics groups used by every simulated component.
 """
 
+from .batch import declare_phases, declared_phases, phase_declared, run_steady
 from .clock import ClockDomain, mhz
 from .events import AllOf, AnyOf, Event, Process, Simulator, Timeout
 from .stats import Accumulator, Counter, StatsGroup
@@ -36,7 +37,11 @@ __all__ = [
     "Simulator",
     "StatsGroup",
     "Timeout",
+    "declare_phases",
+    "declared_phases",
     "format_time",
+    "phase_declared",
+    "run_steady",
     "mhz",
     "ns_from_ps",
     "ps_from_ns",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import ScheduleInPastError, SimulationError
@@ -186,8 +187,9 @@ class Process(Event):
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
-        # Kick off on a zero-delay event so creation order does not matter.
-        Timeout(sim, 0).callbacks.append(lambda ev: self._resume(None, None))
+        # Kick off via the same-timestamp deferral ring so creation order
+        # does not matter (and no heap traffic is spent on the bounce).
+        sim._defer(lambda: self._resume(None, None))
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
@@ -211,12 +213,10 @@ class Process(Event):
             self._resume(None, SimulationError(f"process yielded {target!r}; expected int delay or Event"))
             return
         if target._processed:
-            # Already done: resume immediately (but via the queue, to keep
-            # event ordering deterministic).
+            # Already done: resume immediately (but via the deferral ring,
+            # to keep event ordering deterministic).
             done = target
-            Timeout(self.sim, 0).callbacks.append(
-                lambda ev: self._resume(done._value, done._exception)
-            )
+            self.sim._defer(lambda: self._resume(done._value, done._exception))
         else:
             target.callbacks.append(lambda ev: self._resume(ev._value, ev._exception))
 
@@ -238,8 +238,15 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0
         self._queue: list[tuple[int, int, Event]] = []
+        #: Same-timestamp deferral ring: ``(when, counter, thunk)`` entries
+        #: created *at* ``when == now`` that must run interleaved with heap
+        #: events in counter order.  Process kick-off and already-processed
+        #: resumes land here instead of bouncing through zero-delay
+        #: ``Timeout``s (two heap ops each).
+        self._deferred: deque[tuple[int, int, Callable[[], None]]] = deque()
         self._counter = itertools.count()
         self._processed_events = 0
+        self._deferred_events = 0
 
     # -- clock ----------------------------------------------------------
     @property
@@ -249,8 +256,23 @@ class Simulator:
 
     @property
     def processed_events(self) -> int:
-        """Total number of events processed (for engine statistics)."""
+        """Total number of events processed (for engine statistics).
+
+        Deferred same-timestamp resumes count one-for-one with the
+        zero-delay ``Timeout`` events they replaced, so this figure is
+        path-independent.
+        """
         return self._processed_events
+
+    @property
+    def deferred_events(self) -> int:
+        """How many of :attr:`processed_events` ran off the deferral ring."""
+        return self._deferred_events
+
+    @property
+    def heap_events(self) -> int:
+        """How many of :attr:`processed_events` came off the time heap."""
+        return self._processed_events - self._deferred_events
 
     # -- construction helpers -------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -281,8 +303,33 @@ class Simulator:
             raise ScheduleInPastError(f"cannot schedule {delay_ps} ps in the past")
         heapq.heappush(self._queue, (self._now + delay_ps, next(self._counter), event))
 
+    def _defer(self, thunk: Callable[[], None]) -> None:
+        """Queue ``thunk`` to run at the current timestamp.
+
+        The entry consumes a counter tick exactly like a zero-delay
+        ``Timeout`` would, so its position relative to heap events at the
+        same timestamp — and every later counter value — is unchanged.
+        Entries arrive in (when, counter) order, so a deque stays sorted.
+        """
+        self._deferred.append((self._now, next(self._counter), thunk))
+
+    def _deferral_ready(self) -> bool:
+        """True when the deferral ring holds the globally next event."""
+        deferred = self._deferred
+        if not deferred:
+            return False
+        queue = self._queue
+        return not queue or deferred[0][:2] <= queue[0][:2]
+
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next event (heap or deferral ring)."""
+        if self._deferral_ready():
+            when, _, thunk = self._deferred.popleft()
+            self._now = when
+            self._processed_events += 1
+            self._deferred_events += 1
+            thunk()
+            return
         if not self._queue:
             raise SimulationError("event queue is empty")
         when, _, event = heapq.heappop(self._queue)
@@ -296,18 +343,55 @@ class Simulator:
         ``until`` may be an :class:`Event` (run until it fires, return its
         value — exceptions propagate), an integer time in picoseconds, or
         ``None`` (run until the queue is empty).
+
+        The loop bodies below are :meth:`step` folded inline with local
+        bindings — this is the engine's hottest code; :meth:`step` stays
+        public for single-stepping and tests.
         """
+        queue = self._queue
+        deferred = self._deferred
+        heappop = heapq.heappop
         if isinstance(until, Event):
-            while not until._processed and self._queue:
-                self.step()
+            while not until._processed and (queue or deferred):
+                if deferred and (not queue or deferred[0][:2] <= queue[0][:2]):
+                    when, _, thunk = deferred.popleft()
+                    self._now = when
+                    self._processed_events += 1
+                    self._deferred_events += 1
+                    thunk()
+                else:
+                    when, _, event = heappop(queue)
+                    self._now = when
+                    self._processed_events += 1
+                    event._process()
             if not until._processed:
                 raise SimulationError("simulation ended before the awaited event fired")
             return until.value
         if isinstance(until, int):
-            while self._queue and self._queue[0][0] <= until:
-                self.step()
+            while (deferred and deferred[0][0] <= until) or (queue and queue[0][0] <= until):
+                if deferred and (not queue or deferred[0][:2] <= queue[0][:2]):
+                    when, _, thunk = deferred.popleft()
+                    self._now = when
+                    self._processed_events += 1
+                    self._deferred_events += 1
+                    thunk()
+                else:
+                    when, _, event = heappop(queue)
+                    self._now = when
+                    self._processed_events += 1
+                    event._process()
             self._now = max(self._now, until)
             return None
-        while self._queue:
-            self.step()
+        while queue or deferred:
+            if deferred and (not queue or deferred[0][:2] <= queue[0][:2]):
+                when, _, thunk = deferred.popleft()
+                self._now = when
+                self._processed_events += 1
+                self._deferred_events += 1
+                thunk()
+            else:
+                when, _, event = heappop(queue)
+                self._now = when
+                self._processed_events += 1
+                event._process()
         return None

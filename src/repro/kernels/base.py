@@ -152,3 +152,24 @@ class BaseKernel:
         for index, chunk in enumerate(chunks):
             value |= (chunk & ((1 << chunk_bits) - 1)) << (index * chunk_bits)
         return value
+
+    @staticmethod
+    def _split_block(values: np.ndarray, width_bits: int, chunk_bits: int) -> np.ndarray:
+        """Vectorized :meth:`_split_words` over a block of words.
+
+        Returns all chunks lane-ordered (word 0's chunks first), exactly the
+        concatenation of the per-word splits.
+        """
+        arr = np.asarray(values, dtype=np.uint64)
+        lanes = width_bits // chunk_bits
+        shifts = (np.arange(lanes, dtype=np.uint64) * np.uint64(chunk_bits))
+        mask = np.uint64((1 << chunk_bits) - 1)
+        return ((arr[:, None] >> shifts[None, :]) & mask).ravel()
+
+    @staticmethod
+    def _pack_block(chunks: np.ndarray, per_word: int, chunk_bits: int) -> np.ndarray:
+        """Vectorized :meth:`_pack_words`: pack ``per_word`` chunks into each
+        output word (``len(chunks)`` must be a multiple of ``per_word``)."""
+        arr = np.asarray(chunks, dtype=np.uint64).reshape(-1, per_word)
+        shifts = (np.arange(per_word, dtype=np.uint64) * np.uint64(chunk_bits))
+        return np.bitwise_or.reduce(arr << shifts[None, :], axis=1)

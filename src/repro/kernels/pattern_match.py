@@ -38,6 +38,9 @@ PATTERN_HI_OFFSET = 0x18
 REG_POSITIONS = 0x0
 REG_BEST = 0x4
 
+#: Matches-per-byte lookup: popcount of the complement of a XOR result.
+_MATCH_TABLE = np.array([bin(~v & 0xFF).count("1") for v in range(256)], dtype=np.uint16)
+
 
 def pattern_to_columns(pattern: np.ndarray) -> List[int]:
     """Convert an 8x8 boolean pattern to 8 column bytes (bit i = row i)."""
@@ -120,6 +123,41 @@ class PatternMatchKernel(BaseKernel):
         if len(self._counts) >= per_word:
             self._emit(self._pack_words(self._counts[:per_word], 8))
             del self._counts[:per_word]
+
+    def consume_block(self, values: np.ndarray, width_bits: int, offset: int = 0) -> np.ndarray:
+        """Vectorized data path: whole strips of columns in one call.
+
+        Identical to the per-word protocol: same window evolution, same
+        counts in the same packed output words, same registers.  Control
+        offsets fall back to the scalar path.
+        """
+        if offset != 0 or len(values) == 0:
+            return super().consume_block(values, width_bits, offset)
+        self._out_width = width_bits
+        cols = self._split_block(values, width_bits, 8).astype(np.uint8)
+        hist = np.asarray(list(self._window), dtype=np.uint8)
+        seq = np.concatenate([hist, cols]) if len(hist) else cols
+        total = len(seq)
+        # A window of 8 completes at each new column index >= max(|hist|, 7).
+        first_end = max(len(hist), 7)
+        if total >= 8 and first_end <= total - 1:
+            windows = np.lib.stride_tricks.sliding_window_view(seq, 8)[first_end - 7 :]
+            pattern = np.asarray(self._pattern_cols, dtype=np.uint8)
+            counts = _MATCH_TABLE[np.bitwise_xor(windows, pattern[None, :])].sum(axis=1)
+            self._positions += len(counts)
+            best = int(counts.max())
+            if best > self._best:
+                self._best = best
+            pending = self._counts + [int(c) for c in counts]
+        else:
+            pending = list(self._counts)
+        per_word = width_bits // 8
+        full = len(pending) // per_word
+        if full:
+            self._emit_block(self._pack_block(np.asarray(pending[: full * per_word], dtype=np.uint64), per_word, 8))
+        self._counts = pending[full * per_word :]
+        self._window = deque((int(c) for c in seq[-8:]), maxlen=8)
+        return self.produce_array()
 
     def _flush(self, width_bits: int) -> None:
         if not self._counts:

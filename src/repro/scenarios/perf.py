@@ -12,9 +12,13 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
+from ..core.apps import HwBrightnessPio, HwFadePio, HwJenkinsHash, HwPatternMatch
+from ..workloads import binary_image, grayscale_image, random_key
 from .registry import scenario
 from .result import ScenarioResult, system_stats
-from .rigs import build_rig64
+from .rigs import build_rig32, build_rig64
 
 
 def run_reconfig_cycles(manager, cycles: int, kernel: str, alternate: str):
@@ -83,4 +87,79 @@ def perf_reconfig(cycles: int, kernel: str, alternate: str) -> ScenarioResult:
             "memory_reads": system.config_memory.reads,
         },
         stats=system_stats(system),
+    )
+
+
+def _checksum(result) -> int:
+    """Order-sensitive digest of a task result (arrays or ints)."""
+    if isinstance(result, np.ndarray):
+        flat = result.astype(np.uint64).ravel()
+        weights = (np.arange(flat.size, dtype=np.uint64) * np.uint64(0x100000001B3)) + np.uint64(1)
+        return int((flat * weights).sum(dtype=np.uint64))
+    return int(result) & 0xFFFFFFFFFFFFFFFF
+
+
+def engine_workload_tasks(system, manager, height: int, width: int):
+    """PIO-heavy batchable workload for the batch-compiled engine core.
+
+    Every task runs through the per-word PIO driver loops that the
+    steady-state compiler (:mod:`repro.engine.batch`) compresses: image
+    brightness/fade, pattern matching over strips, and lookup2 hashing.
+    Yields ``(task, thunk)`` pairs where each thunk performs the driver
+    run; consume in order (each yield follows the matching kernel load).
+    Shared by the ``perf_engine_e2e`` scenario and
+    ``benchmarks/bench_perf_sweep.py`` so the host-time floors and the
+    simulated observables come from the identical datapath — the split
+    lets the benchmark put a timer around exactly the driver loop, with
+    the reconfiguration loads outside it.
+    """
+    a = grayscale_image(height, width, seed=1)
+    b = grayscale_image(height, width, seed=2)
+    image = binary_image(height, width, seed=height * width)
+    key = random_key(4 * height * width, seed=width)
+    manager.load("brightness")
+    yield "brightness", lambda: HwBrightnessPio().run(system, a)
+    manager.load("fade")
+    yield "fade", lambda: HwFadePio().run(system, a, b)
+    manager.load("patmatch")
+    yield "patmatch", lambda: HwPatternMatch().run(system, image)
+    manager.load("lookup2")
+    yield "lookup2", lambda: HwJenkinsHash().run(system, key)
+    manager.clear()
+
+
+def run_engine_workload(system, manager, height: int, width: int):
+    """Run :func:`engine_workload_tasks`; returns ``[(task, RunResult)]``."""
+    return [(task, thunk()) for task, thunk in engine_workload_tasks(system, manager, height, width)]
+
+
+@scenario(
+    "perf_engine_e2e",
+    title="Batch-compiled engine: PIO-heavy workload on both systems",
+    tags=("perf", "engine", "apps", "system32", "system64"),
+    params={"height": 96, "width": 96},
+    smoke_params={"height": 32, "width": 32},
+)
+def perf_engine_e2e(height: int, width: int) -> ScenarioResult:
+    system32, manager32 = build_rig32()
+    system64, manager64 = build_rig64()
+    rows: List[List[object]] = []
+    headline = {}
+    total_ps = 0
+    for label, (system, manager) in (("32-bit", (system32, manager32)),
+                                     ("64-bit", (system64, manager64))):
+        for task, run in run_engine_workload(system, manager, height, width):
+            digest = _checksum(run.result)
+            rows.append([label, task, run.elapsed_ps / 1e6, digest])
+            headline[f"{label.replace('-', '')}_{task}_ps"] = run.elapsed_ps
+            headline[f"{label.replace('-', '')}_{task}_checksum"] = digest
+            total_ps += run.elapsed_ps
+    headline["total_ps"] = total_ps
+    return ScenarioResult(
+        name="perf_engine_e2e",
+        title=f"Batch-compiled engine: PIO-heavy workload on both systems ({height}x{width})",
+        headers=["system", "task", "hardware (us)", "checksum"],
+        rows=rows,
+        headline=headline,
+        stats=system_stats(system64),
     )

@@ -12,7 +12,9 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..core import build_system32, build_system64
+from ..core.apps import PIO_PHASES
 from ..core.reconfig import ReconfigManager
+from ..engine.batch import declare_phases
 from ..errors import ResourceError
 from ..kernels import (
     BlendKernel,
@@ -33,7 +35,15 @@ PATTERN_SEED = 2006
 
 
 def register_all(system, pattern) -> ReconfigManager:
-    """Register the paper's kernel set on a freshly built system."""
+    """Register the paper's kernel set on a freshly built system.
+
+    Also declares the PIO driver loops as batchable phases: the kernels
+    registered here are exactly the ones whose bulk data paths have been
+    verified word-for-word equivalent to the interleaved reference loops,
+    so the steady-state compiler (:mod:`repro.engine.batch`) may compress
+    them.  Scenarios that bypass this helper run fully interpreted.
+    """
+    declare_phases(system, *PIO_PHASES)
     manager = ReconfigManager(system)
     manager.register(PatternMatchKernel(pattern))
     manager.register(JenkinsHashKernel())

@@ -32,7 +32,7 @@ from ..scenarios.result import ScenarioResult, _canon
 from .results_io import ensure_dir
 
 #: Bump when the envelope layout changes; old entries become misses.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 
 def canonical_params(params: Mapping[str, object]) -> str:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from ..scenarios import all_scenarios, get_scenario
@@ -114,9 +115,13 @@ def run(args: argparse.Namespace) -> int:
 
     cache = None
     cache_dir = None
+    rig_cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or str(default_cache_dir())
         cache = ResultCache(cache_dir)
+        # Rig-level memo rides in a sibling of the result cache: scenario
+        # misses still skip regenerating static configurations they share.
+        rig_cache_dir = str(Path(cache_dir) / "rigs")
 
     def progress(outcome) -> None:
         if args.json:
@@ -136,6 +141,7 @@ def run(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         seed_base=args.seed_base,
         progress=progress,
+        rig_cache_dir=rig_cache_dir,
     )
 
     if args.tables:

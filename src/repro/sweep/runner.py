@@ -57,6 +57,16 @@ def apply_seed_base(name: str, params: Dict[str, object], seed_base: Optional[in
     return derived
 
 
+def _install_rig_cache(rig_cache_dir: Optional[str]) -> None:
+    """Attach the disk-backed rig memo (worker initializer; no-op if None)."""
+    if rig_cache_dir is None:
+        return
+    from ..bitstream import generator
+    from .rigcache import RigCache
+
+    generator.set_rig_cache(RigCache(rig_cache_dir))
+
+
 def _execute_scenario(name: str, params: Mapping[str, object]) -> Dict[str, object]:
     """Worker entry point: run one scenario, returning a transport dict.
 
@@ -154,14 +164,18 @@ def run_sweep(
     smoke: bool = False,
     seed_base: Optional[int] = None,
     progress: Optional[Callable[[ScenarioOutcome], None]] = None,
+    rig_cache_dir: Optional[str] = None,
 ) -> SweepOutcome:
     """Run ``scenarios`` with up to ``jobs`` worker processes.
 
     ``cache=None`` disables caching entirely; ``refresh=True`` bypasses
     lookups but still stores fresh results.  ``progress`` (if given) is
     called once per finished scenario, in completion order.
+    ``rig_cache_dir`` (if given) shares memoized rig configurations across
+    worker processes and sweep invocations via :mod:`repro.sweep.rigcache`.
     """
     started = _now()
+    _install_rig_cache(rig_cache_dir)
     work = _resolve(scenarios, smoke, seed_base)
     outcomes: Dict[str, ScenarioOutcome] = {}
     pool_broken = False
@@ -230,7 +244,12 @@ def run_sweep(
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = None
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_install_rig_cache,
+            initargs=(rig_cache_dir,),
+        ) as pool:
             futures = {
                 pool.submit(_execute_scenario, entry.name, params): (entry, params)
                 for entry, params in pending

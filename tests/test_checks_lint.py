@@ -489,3 +489,105 @@ def test_lint007_noqa_suppresses():
         """
     )
     assert found == []
+
+
+# -- LINT008: engine mutation inside a run_steady bulk callback ---------------
+
+def test_lint008_cpu_primitive_in_bulk():
+    found = lint(
+        """
+        def run(system, words):
+            cpu = system.cpu
+
+            def step(i):
+                cpu.io_write(0x100, words[i])
+                cpu.execute_cycles(4)
+
+            def bulk(start, count):
+                for i in range(start, start + count):
+                    cpu.io_write(0x100, words[i])  # charges bus time twice
+
+            run_steady(system, len(words), step, bulk, phase="demo")
+        """
+    )
+    assert ids(found) == {"LINT008"}
+
+
+def test_lint008_timing_cursor_write_in_bulk():
+    found = lint(
+        """
+        def run(system, n):
+            def step(i):
+                system.cpu.execute_cycles(4)
+
+            def bulk(start, count):
+                system.cpu.now_ps = system.cpu.now_ps + count * 40
+
+            run_steady(system, n, step, bulk, phase="demo")
+        """
+    )
+    assert ids(found) == {"LINT008"}
+
+
+def test_lint008_bulk_keyword_and_lambda_forms():
+    found = lint(
+        """
+        def run(system, n):
+            def step(i):
+                system.cpu.execute_cycles(4)
+
+            run_steady(
+                system, n, step,
+                bulk=lambda start, count: system.cpu.elapse_cycles(4 * count),
+                phase="demo",
+            )
+        """
+    )
+    assert ids(found) == {"LINT008"}
+
+
+def test_lint008_data_movement_bulk_is_clean():
+    found = lint(
+        """
+        def run(system, words, out_words):
+            dock = system.dock
+
+            def step(i):
+                system.cpu.io_write(dock.base, words[i])
+                system.cpu.execute_cycles(4)
+
+            def bulk(start, count):
+                dock.feed_words(words[start : start + count], 32, 0)
+                out_words.extend(dock.drain_words(count, 32, 0))
+
+            run_steady(system, len(words), step, bulk, phase="demo")
+        """
+    )
+    assert found == []
+
+
+def test_lint008_mutators_outside_bulk_are_clean():
+    found = lint(
+        """
+        def plain(system, n):
+            for _ in range(n):
+                system.cpu.execute_cycles(4)
+        """
+    )
+    assert found == []
+
+
+def test_lint008_noqa_suppresses():
+    found = lint(
+        """
+        def run(system, n):
+            def step(i):
+                system.cpu.execute_cycles(4)
+
+            def bulk(start, count):
+                system.cpu.count("retired")  # repro: noqa LINT008 (measured elsewhere)
+
+            run_steady(system, n, step, bulk, phase="demo")
+        """
+    )
+    assert found == []

@@ -186,6 +186,79 @@ def test_processed_events_counter():
     assert sim.processed_events == 5
 
 
+def test_deferred_resumes_count_as_processed_events():
+    """Process kick-off and already-processed waits run off the deferral
+    ring but still count one-for-one with the zero-delay Timeouts they
+    replaced."""
+    sim = Simulator()
+
+    def worker():
+        yield 100
+        done = sim.timeout(0, value="x")
+        yield done          # processed before the wait starts? no — normal
+        value = yield done  # already processed: deferred resume
+        return value
+
+    proc = sim.process(worker())
+    assert sim.run(proc) == "x"
+    # kick-off deferral + timeout(100) + timeout(0) + deferred re-wait +
+    # the process's own completion event.
+    assert sim.deferred_events == 2
+    assert sim.heap_events == 3
+    assert sim.processed_events == sim.deferred_events + sim.heap_events
+
+
+def test_deferred_kickoff_preserves_creation_order():
+    """Two processes created back-to-back start in creation order, and
+    interleave with a heap event scheduled between them at t=0."""
+    sim = Simulator()
+    order = []
+
+    def worker(name):
+        order.append(name)
+        yield 10
+
+    sim.process(worker("p1"))
+    sim.timeout(0).callbacks.append(lambda ev: order.append("t"))
+    sim.process(worker("p2"))
+    sim.run()
+    assert order == ["p1", "t", "p2"]
+
+
+def test_deferred_wait_on_processed_event_orders_after_pending_siblings():
+    """A process waiting on an already-processed event resumes after events
+    that were queued earlier at the same timestamp (the old zero-delay
+    Timeout ordering)."""
+    sim = Simulator()
+    order = []
+    done = sim.timeout(0, value="early")
+
+    def waiter():
+        yield 50
+        sim.timeout(0).callbacks.append(lambda ev: order.append("sibling"))
+        value = yield done  # already processed at t=0
+        order.append(f"resumed:{value}")
+
+    sim.run(sim.process(waiter()))
+    assert order == ["sibling", "resumed:early"]
+
+
+def test_step_drains_deferrals_then_heap():
+    sim = Simulator()
+    order = []
+
+    def worker():
+        order.append("start")
+        yield 1
+
+    sim.process(worker())
+    sim.timeout(0).callbacks.append(lambda ev: order.append("t0"))
+    sim.step()  # the kick-off deferral (counter 0) precedes the heap event
+    assert order == ["start"]
+    sim.step()
+    assert order == ["start", "t0"]
+
+
 def test_concurrent_processes_interleave():
     sim = Simulator()
     log = []

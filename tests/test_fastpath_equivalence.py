@@ -161,6 +161,10 @@ def test_descriptor_chain_equivalence(chain):
         dst = memmap.STAGE_OUTPUT
         pending = 0
         for count, drain in chain:
+            if pending + count > 2000:  # keep undrained data inside the FIFO
+                descriptors.append(Descriptor(src=None, dst=dst, word_count=pending))
+                dst += pending * 8
+                pending = 0
             descriptors.append(Descriptor(src=src, dst=None, word_count=count))
             src += count * 8
             pending += count
