@@ -61,8 +61,10 @@ register_rule(
 register_rule(
     "LINT002",
     "unseeded-randomness",
-    "Unseeded RNGs (random.*, numpy legacy global, default_rng()) break "
-    "run-to-run determinism; thread an explicit seed.",
+    "Unseeded or hardwired RNGs (random.*, numpy legacy global, "
+    "default_rng() without a seed threaded from a parameter or "
+    "derive_seed) break run-to-run determinism and cache keying; thread "
+    "an explicit seed.",
 )
 register_rule(
     "LINT003",
@@ -132,6 +134,66 @@ _INT_COERCIONS = {"int", "round", "floor", "ceil", "len", "max", "min", "divmod"
 
 #: Decorator names that mark a function as a registered sweep scenario.
 _SCENARIO_DECORATORS = {"scenario"}
+
+#: Callees whose result counts as a threaded seed (LINT002): the
+#: registry's deterministic seed-derivation helpers.
+_SEED_DERIVERS_PREFIX = "derive_"
+
+
+def _seed_threaded(node: ast.AST, tainted: Set[str]) -> bool:
+    """Is this seed expression threaded from a parameter or ``derive_*``?
+
+    Threaded = it references a tainted name (a parameter, or a local
+    computed from one), calls a ``derive_seed``/``derive_rng_seed``-style
+    helper, or reads object state (an attribute like ``self.seed`` —
+    whoever stored it owns the threading).  A literal (or ``None``, which
+    asks the OS for entropy) is not threaded.
+    """
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in tainted:
+            return True
+        if isinstance(child, ast.Attribute):
+            return True
+        if isinstance(child, ast.Call):
+            callee = child.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else getattr(
+                callee, "id", None
+            )
+            if name and name.startswith(_SEED_DERIVERS_PREFIX):
+                return True
+    return False
+
+
+def _tainted_names(node) -> Set[str]:
+    """Parameter names plus locals assigned from already-tainted values.
+
+    Two propagation passes over the subtree's assignments — enough for the
+    ``s = seed + 1; rng = default_rng(s)`` shapes that occur in practice.
+    """
+    args = node.args
+    tainted: Set[str] = set()
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        tainted.add(arg.arg)
+    if args.vararg:
+        tainted.add(args.vararg.arg)
+    if args.kwarg:
+        tainted.add(args.kwarg.arg)
+    for _ in range(2):
+        for child in ast.walk(node):
+            value = None
+            targets: List[ast.AST] = []
+            if isinstance(child, ast.Assign):
+                value, targets = child.value, list(child.targets)
+            elif isinstance(child, (ast.AnnAssign, ast.NamedExpr)):
+                value, targets = child.value, [child.target]
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                value, targets = child.iter, [child.target]
+            if value is None:
+                continue
+            if _seed_threaded(value, tainted):
+                for target in targets:
+                    tainted.update(_bound_names(target))
+    return tainted
 
 #: Method names that mutate their receiver in place (LINT006).
 _MUTATING_METHODS = {
@@ -432,6 +494,9 @@ class _Visitor(ast.NodeVisitor):
         self.report = report
         self.in_fastpath_module = path.replace("\\", "/").endswith("engine/fastpath.py")
         self.module_names = module_names or set()
+        #: Stack of per-function tainted-name sets (LINT002 seed threading);
+        #: nested defs see their enclosing functions' taints (closures).
+        self._taint_stack: List[Set[str]] = []
 
     # -- helpers ----------------------------------------------------------
     def _flag(self, rule: str, node: ast.AST, message: str, hint: Optional[str] = None) -> None:
@@ -491,6 +556,8 @@ class _Visitor(ast.NodeVisitor):
                             "default_rng() without a seed",
                             hint="pass an explicit seed for reproducible workloads",
                         )
+                    else:
+                        self._check_rng_seed(node)
                 else:
                     self._flag(
                         "LINT002",
@@ -498,6 +565,18 @@ class _Visitor(ast.NodeVisitor):
                         f"legacy global numpy RNG ({'.'.join(chain)}())",
                         hint="use numpy.random.default_rng(seed)",
                     )
+        # LINT002(b) on bare-name default_rng(...) (common `rng = default_rng(s)`
+        # after `from numpy.random import default_rng`).
+        if isinstance(node.func, ast.Name) and node.func.id == "default_rng":
+            if not node.args and not node.keywords:
+                self._flag(
+                    "LINT002",
+                    node,
+                    "default_rng() without a seed",
+                    hint="pass an explicit seed for reproducible workloads",
+                )
+            else:
+                self._check_rng_seed(node)
         # LINT004 on keyword arguments named *_ps.
         for keyword in node.keywords:
             if keyword.arg and keyword.arg.endswith("_ps") and _float_tainted(keyword.value):
@@ -508,6 +587,27 @@ class _Visitor(ast.NodeVisitor):
                     hint="wrap in round() — simulated time is integer picoseconds",
                 )
         self.generic_visit(node)
+
+    def _check_rng_seed(self, node: ast.Call) -> None:
+        """LINT002(c): a ``default_rng(seed)`` whose seed expression is not
+        threaded from a parameter or a ``derive_*`` helper."""
+        seed_expr: Optional[ast.AST] = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg in (None, "seed"):
+                seed_expr = keyword.value
+        if seed_expr is None:
+            return
+        tainted: Set[str] = set()
+        for frame in self._taint_stack:
+            tainted |= frame
+        if not _seed_threaded(seed_expr, tainted):
+            self._flag(
+                "LINT002",
+                node,
+                "default_rng() seed is not threaded from a parameter or derive_seed",
+                hint="pass the caller's seed (or derive_seed(base, label)) instead "
+                "of a hardwired value",
+            )
 
     def visit_Constant(self, node: ast.Constant) -> None:
         if (
@@ -585,7 +685,11 @@ class _Visitor(ast.NodeVisitor):
             )
         if _is_scenario_decorated(node):
             self._scan_scenario_purity(node)
-        self.generic_visit(node)
+        self._taint_stack.append(_tainted_names(node))
+        try:
+            self.generic_visit(node)
+        finally:
+            self._taint_stack.pop()
 
     # -- LINT006: scenario purity -----------------------------------------
     def _scan_scenario_purity(self, node) -> None:

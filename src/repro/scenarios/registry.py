@@ -83,14 +83,52 @@ class Scenario:
         """SHA-256 over the scenario function's source text.
 
         The first cache-key component: editing a scenario body invalidates
-        its cached results.  Helpers it calls are covered by the package
-        version component of the key (see ``docs/SWEEP.md``).
+        its cached results.  Helpers it calls are covered by the
+        dependency-fingerprint component of the key (see ``docs/SWEEP.md``).
+
+        When the source is unavailable (dynamically defined scenarios,
+        e.g. in tests), the fingerprint falls back to the function's
+        identity *and behaviour*: module, qualname and compiled code
+        material.  Never ``repr(self.fn)`` — that embeds the object's
+        memory address, which changes per process and would make cache
+        keys nondeterministic.
         """
         try:
             source = inspect.getsource(self.fn)
         except (OSError, TypeError):  # dynamically defined (tests)
-            source = repr(self.fn)
+            source = "\n".join(
+                [
+                    getattr(self.fn, "__module__", "") or "",
+                    getattr(self.fn, "__qualname__", "") or "",
+                    _code_material(getattr(self.fn, "__code__", None)),
+                ]
+            )
         return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _code_material(code) -> str:
+    """Deterministic text describing a code object's behaviour.
+
+    Bytecode, names, and constants (nested code objects recursed) — every
+    part is stable across processes, unlike ``repr`` of the function.
+    """
+    if code is None:
+        return "<no-code>"
+    consts: List[str] = []
+    for const in code.co_consts:
+        if hasattr(const, "co_code"):
+            consts.append(_code_material(const))
+        else:
+            consts.append(repr(const))
+    return "|".join(
+        [
+            code.co_name,
+            code.co_code.hex(),
+            ",".join(code.co_names),
+            ",".join(code.co_varnames),
+            ";".join(consts),
+        ]
+    )
 
 
 #: Process-wide registry: scenario name -> Scenario.

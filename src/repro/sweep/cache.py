@@ -1,21 +1,30 @@
 """Content-addressed, on-disk cache for scenario results.
 
 A scenario is pure (LINT006-enforced), so its result is fully determined
-by three inputs — and those three inputs are exactly the cache key:
+by its inputs — and those inputs are exactly the cache key:
 
 1. the scenario function's **source fingerprint** (SHA-256 of its source
    text, via the registry) — editing a scenario invalidates its entries;
 2. the **resolved parameters** (canonical JSON) — every distinct
    parameterisation caches separately (smoke and full runs never mix);
-3. the **repro package version** plus the result/cache schema numbers —
-   library changes that could shift simulated numbers are fenced by the
-   release version (see ``docs/SWEEP.md`` for the policy).
+3. the **dependency fence**: by default the scenario's call-graph
+   **dependency fingerprint** (:mod:`repro.checks.depfp` — SHA-256 over
+   the source of every module its body can transitively reach), so
+   editing any helper invalidates exactly the dependent scenarios while
+   a release that does not touch the closure keeps the warm cache.  When
+   static analysis cannot vouch for the closure (a CKEY finding, or a
+   dynamically defined scenario), that scenario falls back to the old
+   blanket ``repro.__version__`` fence — sound, just coarser;
+4. the cache schema number — envelope-format and orchestration-layer
+   changes are fenced here (see ``docs/SWEEP.md`` for the policy).
 
 Entries are versioned JSON envelopes under ``benchmarks/results/cache/``
 by default.  A corrupted or mismatched entry is deleted and treated as a
 miss — the cache can always be rebuilt from scratch, so recovery never
 raises.  Telemetry (hits/misses/stores/invalidations) feeds the sweep
-report.
+report, and :meth:`ResultCache.explain` diffs the current key components
+against the stored envelopes to attribute a miss (``repro sweep
+--explain``).
 """
 
 from __future__ import annotations
@@ -24,15 +33,25 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from .. import __version__
 from ..scenarios.registry import Scenario
 from ..scenarios.result import ScenarioResult, _canon
 from .results_io import ensure_dir
 
-#: Bump when the envelope layout changes; old entries become misses.
-CACHE_SCHEMA = 2
+#: Bump when the envelope layout — or anything in the orchestration layer
+#: excluded from dependency fingerprints — changes; old entries become
+#: misses.
+CACHE_SCHEMA = 3
+
+
+def _repro_version() -> str:
+    """The package version, read at call time so test fixtures that
+    simulate a release bump (monkeypatching ``repro.__version__``) are
+    observed."""
+    from .. import __version__
+
+    return __version__
 
 
 def canonical_params(params: Mapping[str, object]) -> str:
@@ -40,18 +59,42 @@ def canonical_params(params: Mapping[str, object]) -> str:
     return json.dumps({k: _canon(v) for k, v in params.items()}, sort_keys=True)
 
 
+def dependency_fence(scenario: Scenario) -> Dict[str, str]:
+    """The key components fencing library changes for this scenario.
+
+    ``key_mode == "depfp"`` carries the call-graph dependency fingerprint;
+    ``key_mode == "version"`` is the blanket fallback used when the body is
+    not statically analyzable or a CKEY finding voids the fingerprint.
+    """
+    from ..checks import depfp
+
+    fp = depfp.scenario_fingerprint(scenario)
+    if fp is None or fp.fallback:
+        return {"key_mode": "version", "repro_version": _repro_version()}
+    return {"key_mode": "depfp", "dep_fingerprint": fp.fingerprint}
+
+
+def key_components(scenario: Scenario, params: Mapping[str, object]) -> Dict[str, object]:
+    """Every component of the content address, by name — hashed into the
+    key, stored in the envelope, and diffed by :meth:`ResultCache.explain`."""
+    components: Dict[str, object] = {
+        "source": scenario.source_fingerprint(),
+        "params": json.loads(canonical_params(params)),
+        "cache_schema": CACHE_SCHEMA,
+    }
+    components.update(dependency_fence(scenario))
+    return components
+
+
 def cache_key(scenario: Scenario, params: Mapping[str, object]) -> str:
     """The content address of one (scenario, params) result."""
-    material = json.dumps(
-        {
-            "source": scenario.source_fingerprint(),
-            "params": json.loads(canonical_params(params)),
-            "repro_version": __version__,
-            "cache_schema": CACHE_SCHEMA,
-        },
-        sort_keys=True,
-    )
+    material = json.dumps(key_components(scenario, params), sort_keys=True)
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _summarize(value: object) -> str:
+    text = value if isinstance(value, str) else json.dumps(value, sort_keys=True)
+    return text[:16] + "…" if len(text) > 17 else text
 
 
 @dataclass
@@ -139,8 +182,8 @@ class ResultCache:
             "key": cache_key(scenario, params),
             "scenario": scenario.name,
             "params": json.loads(canonical_params(params)),
-            "repro_version": __version__,
-            "source_fingerprint": scenario.source_fingerprint(),
+            "key_components": key_components(scenario, params),
+            "repro_version": _repro_version(),
             "host_seconds": host_seconds,
             "result": result.to_dict(),
         }
@@ -149,6 +192,46 @@ class ResultCache:
         tmp.replace(path)
         self.telemetry.stores += 1
         return path
+
+    # -- explain -----------------------------------------------------------
+    def explain(self, scenario: Scenario, params: Mapping[str, object]) -> List[str]:
+        """Attribute a miss: diff the current key components against every
+        stored entry for this scenario (``repro sweep --explain``)."""
+        current = key_components(scenario, params)
+        entries = sorted(self.root.glob(f"{scenario.name}-*.json")) if self.root.exists() else []
+        if not entries:
+            return ["no cached entry (cold cache for this scenario)"]
+        lines: List[str] = []
+        for path in entries:
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                lines.append(f"{path.name}: unreadable entry")
+                continue
+            if envelope.get("schema") != CACHE_SCHEMA:
+                lines.append(
+                    f"{path.name}: schema {envelope.get('schema')!r} != {CACHE_SCHEMA} "
+                    "(stale envelope format)"
+                )
+                continue
+            stored = envelope.get("key_components")
+            if not isinstance(stored, dict):
+                lines.append(f"{path.name}: entry predates key_components (re-stored on next run)")
+                continue
+            changed = [
+                key
+                for key in sorted(set(stored) | set(current))
+                if stored.get(key) != current.get(key)
+            ]
+            if not changed:
+                lines.append(f"{path.name}: key components identical (this entry hits)")
+                continue
+            for key in changed:
+                lines.append(
+                    f"{path.name}: {key} changed "
+                    f"({_summarize(stored.get(key))} -> {_summarize(current.get(key))})"
+                )
+        return lines
 
     # -- maintenance -------------------------------------------------------
     def clear(self) -> int:

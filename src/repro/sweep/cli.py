@@ -29,7 +29,7 @@ from .results_io import (
     default_cache_dir,
     write_text_result,
 )
-from .runner import run_sweep
+from .runner import apply_seed_base, run_sweep
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -60,6 +60,9 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed-base", type=int, default=None, metavar="N",
                         help="derive per-scenario workload seeds from N "
                         "(default: the paper's seeds)")
+    parser.add_argument("--explain", action="store_true",
+                        help="attribute every cache miss to the key "
+                        "component(s) that changed vs the stored entries")
     parser.add_argument("--list", dest="list_only", action="store_true",
                         help="list matching scenarios instead of running")
 
@@ -123,6 +126,16 @@ def run(args: argparse.Namespace) -> int:
         # misses still skip regenerating static configurations they share.
         rig_cache_dir = str(Path(cache_dir) / "rigs")
 
+    # --explain snapshots must be taken *before* the run stores fresh
+    # entries (afterwards every key would trivially match its own entry).
+    explanations = {}
+    if args.explain and cache is not None:
+        for entry in selected:
+            params = apply_seed_base(
+                entry.name, entry.resolve_params(smoke=args.smoke), args.seed_base
+            )
+            explanations[entry.name] = cache.explain(entry, params)
+
     def progress(outcome) -> None:
         if args.json:
             return  # keep stdout pure JSON
@@ -148,6 +161,16 @@ def run(args: argparse.Namespace) -> int:
         for entry in outcome.outcomes:
             if entry.result is not None:
                 write_text_result(args.tables, entry.name, entry.result.table_text())
+
+    if explanations and not args.json:
+        missed = [o for o in outcome.outcomes if o.cache in ("miss", "refresh")]
+        if missed:
+            print("cache-miss attribution:")
+            for entry in missed:
+                for line in explanations.get(entry.name, []):
+                    print(f"  {entry.name}: {line}")
+        else:
+            print("cache-miss attribution: every scenario hit the cache")
 
     payload = write_report(outcome, args.out, cache_dir=cache_dir)
     if args.json:

@@ -4,8 +4,9 @@ The in-process memo in :mod:`repro.bitstream.generator` makes repeated rig
 builds free *within* one process; sweep workers are separate processes, so
 each would regenerate the same static image from scratch.  This cache
 persists the memoized entries as ``.npz`` files keyed by the same content
-address (device, region, seed, package version), letting a cold worker
-restore a rig's configuration memory with one array load.
+address (device, region, seed, and the rig builder's call-graph dependency
+fingerprint — see :func:`repro.checks.depfp.rig_fingerprint`), letting a
+cold worker restore a rig's configuration memory with one array load.
 
 Same recovery policy as the result cache: a corrupted, truncated or
 schema-mismatched entry is deleted and treated as a miss — the cache is
@@ -31,8 +32,9 @@ import numpy as np
 
 from .results_io import ensure_dir
 
-#: Bump when the npz layout changes; old entries become misses.
-RIG_CACHE_SCHEMA = 1
+#: Bump when the npz layout (or the keying discipline) changes; old
+#: entries become misses.  2 = dependency-fingerprint fence.
+RIG_CACHE_SCHEMA = 2
 
 
 class RigCache:

@@ -57,14 +57,31 @@ def apply_seed_base(name: str, params: Dict[str, object], seed_base: Optional[in
     return derived
 
 
-def _install_rig_cache(rig_cache_dir: Optional[str]) -> None:
-    """Attach the disk-backed rig memo (worker initializer; no-op if None)."""
+def _install_rig_cache(rig_cache_dir: Optional[str], dep_fence: Optional[str] = None) -> None:
+    """Attach the disk-backed rig memo (worker initializer; no-op if None).
+
+    ``dep_fence`` — the rig builder's dependency fingerprint, computed once
+    in the parent (workers inherit it through the initializer rather than
+    re-running the static analysis per process).
+    """
     if rig_cache_dir is None:
         return
     from ..bitstream import generator
     from .rigcache import RigCache
 
     generator.set_rig_cache(RigCache(rig_cache_dir))
+    generator.set_dependency_fence(dep_fence)
+
+
+def _rig_dependency_fence() -> Optional[str]:
+    """The rig builder's dependency fingerprint, or ``None`` (version
+    fence) when the closure is not statically sound."""
+    from ..checks import depfp
+
+    fingerprint = depfp.rig_fingerprint()
+    if fingerprint is None or fingerprint.fallback:
+        return None
+    return fingerprint.fingerprint
 
 
 def _execute_scenario(name: str, params: Mapping[str, object]) -> Dict[str, object]:
@@ -175,7 +192,8 @@ def run_sweep(
     worker processes and sweep invocations via :mod:`repro.sweep.rigcache`.
     """
     started = _now()
-    _install_rig_cache(rig_cache_dir)
+    rig_fence = _rig_dependency_fence() if rig_cache_dir is not None else None
+    _install_rig_cache(rig_cache_dir, rig_fence)
     work = _resolve(scenarios, smoke, seed_base)
     outcomes: Dict[str, ScenarioOutcome] = {}
     pool_broken = False
@@ -248,7 +266,7 @@ def run_sweep(
             max_workers=jobs,
             mp_context=context,
             initializer=_install_rig_cache,
-            initargs=(rig_cache_dir,),
+            initargs=(rig_cache_dir, rig_fence),
         ) as pool:
             futures = {
                 pool.submit(_execute_scenario, entry.name, params): (entry, params)

@@ -112,6 +112,106 @@ def test_lint002_seeded_rng_is_clean():
     assert found == []
 
 
+def test_lint002_hardwired_literal_seed():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen():
+            return np.random.default_rng(42)
+        """
+    )
+    assert ids(found) == {"LINT002"}
+
+
+def test_lint002_explicit_none_seed():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen():
+            return np.random.default_rng(None)
+        """
+    )
+    assert ids(found) == {"LINT002"}
+
+
+def test_lint002_np_random_seed_literal():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen():
+            np.random.seed(1234)
+        """
+    )
+    assert ids(found) == {"LINT002"}
+
+
+def test_lint002_bare_default_rng_import_form():
+    found = lint(
+        """
+        from numpy.random import default_rng
+
+        def gen():
+            return default_rng(7)
+        """
+    )
+    assert ids(found) == {"LINT002"}
+
+
+def test_lint002_derive_seed_helper_is_clean():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen(name):
+            return np.random.default_rng(derive_seed(name))
+        """
+    )
+    assert found == []
+
+
+def test_lint002_seed_propagated_through_assignment_is_clean():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen(seed):
+            local = seed + 1
+            return np.random.default_rng(local)
+        """
+    )
+    assert found == []
+
+
+def test_lint002_keyword_seed_from_parameter_is_clean():
+    found = lint(
+        """
+        import numpy as np
+
+        def gen(seed):
+            return np.random.default_rng(seed=seed)
+        """
+    )
+    assert found == []
+
+
+def test_lint002_nested_function_sees_outer_parameter():
+    found = lint(
+        """
+        import numpy as np
+
+        def outer(seed):
+            def inner():
+                return np.random.default_rng(seed)
+
+            return inner
+        """
+    )
+    assert found == []
+
+
 # -- LINT003: bare assert in library code -----------------------------------
 
 def test_lint003_bare_assert():

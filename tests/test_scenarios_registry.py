@@ -178,3 +178,55 @@ def test_table_text_appends_appendix():
         name="ap", title="T", headers=["a"], rows=[[1]], appendix="the appendix"
     )
     assert result.table_text().endswith("\n\nthe appendix")
+
+
+# -- fallback fingerprint determinism ----------------------------------------
+#
+# Bodies that inspect.getsource cannot see (exec-compiled, REPL-defined)
+# fall back to hashing module + qualname + code-object material.  That
+# material must be stable across interpreter processes — the old repr(fn)
+# fallback leaked memory addresses and broke warm caches between runs.
+
+_DYNAMIC_SNIPPET = r"""
+import sys
+
+from repro.scenarios import ScenarioResult
+from repro.scenarios.registry import Scenario
+
+code = compile(
+    "def dyn(n):\n"
+    "    return ScenarioResult(name='dyn', headers=['n'], rows=[[n {op} 1]])\n",
+    "<dynamic>",
+    "exec",
+)
+ns = {"ScenarioResult": ScenarioResult}
+exec(code, ns)
+entry = Scenario(name="dyn", fn=ns["dyn"], title="dyn", params={"n": 1})
+sys.stdout.write(entry.source_fingerprint())
+"""
+
+
+def _dynamic_fingerprint(op):
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _DYNAMIC_SNIPPET.replace("{op}", op)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": src, "PYTHONHASHSEED": "random"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    fingerprint = proc.stdout.strip()
+    assert len(fingerprint) == 64
+    return fingerprint
+
+
+def test_fallback_fingerprint_stable_across_processes():
+    assert _dynamic_fingerprint("+") == _dynamic_fingerprint("+")
+
+
+def test_fallback_fingerprint_tracks_the_body():
+    assert _dynamic_fingerprint("+") != _dynamic_fingerprint("-")

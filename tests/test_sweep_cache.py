@@ -115,3 +115,117 @@ def test_entry_path_is_human_navigable(tmp_path):
     path = cache.entry_path(_scenario(), {"n": 3})
     assert path.name.startswith("cached-")
     assert path.suffix == ".json"
+
+
+# -- dependency-fence keying --------------------------------------------------
+#
+# Scenarios registered from real package modules key on their call-graph
+# dependency fingerprint; dynamic test scenarios (like the ones above, whose
+# bodies live outside src/repro) fall back to the blanket version fence.
+
+def _registered(name="table01_resources32"):
+    import repro.scenarios  # registration side effects
+    from repro.scenarios import get_scenario
+
+    return get_scenario(name)
+
+
+def test_dynamic_scenario_uses_version_fence():
+    from repro.sweep.cache import dependency_fence
+
+    fence = dependency_fence(_scenario())
+    assert fence["key_mode"] == "version"
+    import repro
+
+    assert fence["repro_version"] == repro.__version__
+
+
+def test_registered_scenario_uses_depfp_fence():
+    from repro.sweep.cache import dependency_fence
+
+    fence = dependency_fence(_registered())
+    assert fence["key_mode"] == "depfp"
+    assert len(fence["dep_fingerprint"]) == 64
+
+
+def test_version_bump_keeps_key_when_sources_unchanged(monkeypatch):
+    """The tentpole property: a release that does not touch a scenario's
+    closure must keep the warm cache."""
+    entry = _registered()
+    params = dict(entry.params)
+    before = cache_key(entry, params)
+    monkeypatch.setattr("repro.__version__", "99.0.0")
+    assert cache_key(entry, params) == before
+
+
+def test_version_bump_invalidates_version_fenced_scenario(monkeypatch):
+    entry = _scenario()
+    before = cache_key(entry, {"n": 3})
+    monkeypatch.setattr("repro.__version__", "99.0.0")
+    assert cache_key(entry, {"n": 3}) != before
+
+
+def test_helper_edit_invalidates_exactly_dependents():
+    """Simulate editing one helper module by tampering with its hash in the
+    memoized graph: every scenario whose closure contains it must change
+    key, every other scenario must not."""
+    from repro.checks import depfp
+
+    fig = _registered("fig1_generic_architecture")
+    table = _registered("table01_resources32")
+    fig_params, table_params = dict(fig.params), dict(table.params)
+    try:
+        graph = depfp.package_graph()
+        helper = "repro.bus.plb"  # reached by the table rig, not the figure
+        assert helper in depfp.scenario_fingerprint(table, graph=graph).modules
+        assert helper not in depfp.scenario_fingerprint(fig, graph=graph).modules
+        fig_before = cache_key(fig, fig_params)
+        table_before = cache_key(table, table_params)
+
+        graph.modules[helper].source_hash = "0" * 64
+        graph.memo.clear()
+
+        assert cache_key(table, table_params) != table_before
+        assert cache_key(fig, fig_params) == fig_before
+    finally:
+        depfp.reset_graph()
+
+
+def test_stored_envelope_records_key_components(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.store(_scenario(), {"n": 3}, _result([[3]]), host_seconds=0.1)
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    components = envelope["key_components"]
+    assert components["key_mode"] == "version"
+    assert components["params"] == {"n": 3}
+
+
+# -- miss attribution ---------------------------------------------------------
+
+def test_explain_cold_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    lines = cache.explain(_scenario(), {"n": 3})
+    assert len(lines) == 1
+    assert "no cached entry" in lines[0]
+
+
+def test_explain_attributes_params_change(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store(_scenario(), {"n": 3}, _result([[3]]), host_seconds=0.1)
+    lines = cache.explain(_scenario(), {"n": 4})
+    assert any("params" in line for line in lines)
+
+
+def test_explain_attributes_version_fence(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    cache.store(_scenario(), {"n": 3}, _result([[3]]), host_seconds=0.1)
+    monkeypatch.setattr("repro.__version__", "99.0.0")
+    lines = cache.explain(_scenario(), {"n": 3})
+    assert any("repro_version" in line for line in lines)
+
+
+def test_explain_reports_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store(_scenario(), {"n": 3}, _result([[3]]), host_seconds=0.1)
+    lines = cache.explain(_scenario(), {"n": 3})
+    assert any("identical" in line for line in lines)

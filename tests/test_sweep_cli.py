@@ -103,3 +103,19 @@ def test_unknown_scenario_name_raises():
 
     with pytest.raises(ScenarioError, match="unknown scenario"):
         main(["run", "definitely_not_registered"])
+
+
+def test_explain_attributes_misses_then_reports_hits(tmp_path, capsys):
+    out_path = tmp_path / "sweep.json"
+    argv = [
+        "run", "fig1_generic_architecture", "--smoke", "--explain",
+        "--cache-dir", str(tmp_path / "cache"), "--out", str(out_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "cache-miss attribution:" in cold
+    assert "no cached entry" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "every scenario hit the cache" in warm
