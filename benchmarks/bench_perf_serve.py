@@ -1,0 +1,158 @@
+"""Host-wall-clock perf bench for the multi-tenant serve scheduler.
+
+Simulates the headline trace — ≥1,000,000 Poisson requests against the
+64-bit rig's calibrated cost table — through both scheduler paths:
+
+* **fast** — the vectorized engine (:mod:`repro.serve.engine`);
+* **reference** — the scalar per-request interpreter behind
+  ``REPRO_NO_FAST_PATH``.
+
+The two paths must agree on every simulated observable (per-request
+decisions, finish timestamps, segment structure, allocator stats); the
+fast path must beat the reference by the ``--check`` floor.  Every queue
+× residency policy combination is additionally reported (fast path only)
+with its service report and reconfiguration-amortization curve.  Writes
+``benchmarks/results/BENCH_serve.json``.
+
+Run directly (report-only)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_serve.py
+
+or with ``--check`` to enforce the floors in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.engine import fastpath  # noqa: E402
+from repro.scenarios.serve import POLICY_COMBOS, build_serve_inputs  # noqa: E402
+from repro.serve.engine import ServeConfig, simulate  # noqa: E402
+from repro.serve.report import ServeReport  # noqa: E402
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "BENCH_serve.json")
+
+#: --check floor: fast-path speedup over the scalar reference on the
+#: headline trace (measured ~16-17x on the dev container).
+SPEEDUP_FLOOR = 10.0
+
+#: --check floor: headline trace length.
+MIN_REQUESTS = 1_000_000
+
+_MS = 1_000_000_000
+
+
+def _simulate_timed(trace, table, config, fast: bool):
+    """One timed simulation; calibration and trace generation stay outside."""
+    context = fastpath.forced_on() if fast else fastpath.disabled()
+    with context:
+        start = time.perf_counter()
+        outcome = simulate(trace, table, config)
+        elapsed = time.perf_counter() - start
+    return outcome, elapsed
+
+
+def run(check: bool, requests: int, seed: int) -> int:
+    failures = []
+    if check and requests < MIN_REQUESTS:
+        failures.append(
+            f"headline trace has {requests} requests < {MIN_REQUESTS} floor"
+        )
+
+    t0 = time.perf_counter()
+    table, trace = build_serve_inputs(requests, seed, "poisson", 0.7)
+    setup_s = time.perf_counter() - t0
+
+    headline_config = ServeConfig(queue="fifo", residency="lru")
+    fast_outcome, fast_s = _simulate_timed(trace, table, headline_config, fast=True)
+    ref_outcome, ref_s = _simulate_timed(trace, table, headline_config, fast=False)
+
+    if fast_outcome.observables() != ref_outcome.observables():
+        failures.append(
+            "fast and reference paths diverged on the headline observables"
+        )
+    fast_report = ServeReport.from_outcome(fast_outcome)
+    ref_report = ServeReport.from_outcome(ref_outcome)
+    if fast_report.to_dict() != ref_report.to_dict():
+        failures.append("fast and reference service reports diverged")
+
+    speedup = ref_s / fast_s if fast_s else float("inf")
+    rate = requests / fast_s if fast_s else float("inf")
+    print(
+        f"headline ({requests} requests, fifo/lru): "
+        f"fast {fast_s:7.3f} s  reference {ref_s:7.3f} s  "
+        f"speedup {speedup:5.1f}x  ({rate / 1e6:.2f} M req/s fast path)"
+    )
+    print(
+        f"  p50 {fast_report.p50_ps / _MS:6.2f} ms  "
+        f"p99 {fast_report.p99_ps / _MS:6.2f} ms  "
+        f"p99.9 {fast_report.p999_ps / _MS:6.2f} ms  "
+        f"util {fast_report.utilization:.3f}"
+    )
+    if check and speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"headline speedup {speedup:.1f}x < {SPEEDUP_FLOOR:.0f}x floor"
+        )
+
+    policies = []
+    for queue, residency in POLICY_COMBOS:
+        config = ServeConfig(queue=queue, residency=residency)
+        outcome, host_s = _simulate_timed(trace, table, config, fast=True)
+        report = ServeReport.from_outcome(outcome)
+        policies.append({"host_s_fast": round(host_s, 6), **report.to_dict()})
+        print(
+            f"  {queue:>8}/{residency:<6}: p99 {report.p99_ps / _MS:6.2f} ms  "
+            f"util {report.utilization:.3f}  sw-share {report.software_share:.3f}  "
+            f"({host_s:6.3f} s)"
+        )
+
+    report = {
+        "schema": "repro-serve-bench/1",
+        "unit": "host seconds per simulation",
+        "workload": f"{requests} poisson requests, target util 0.7, seed {seed}",
+        "requests": requests,
+        "setup_s": round(setup_s, 6),
+        "headline": {
+            "host_s_fast": round(fast_s, 6),
+            "host_s_reference": round(ref_s, 6),
+            "speedup": round(speedup, 2),
+            "requests_per_s_fast": round(rate, 1),
+            **fast_report.to_dict(),
+        },
+        "policies": policies,
+    }
+
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the speedup and trace-size floors (default: report-only)",
+    )
+    parser.add_argument("--requests", type=int, default=MIN_REQUESTS)
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args()
+    return run(check=args.check, requests=args.requests, seed=args.seed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

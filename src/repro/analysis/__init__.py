@@ -5,7 +5,9 @@ from .amortization import (
     EpisodePlanner,
     Plan,
     PlanStep,
+    amortized_reconfig_ps,
     break_even_runs,
+    break_even_table,
     measure_episode,
 )
 from .lower_bound import (
@@ -28,7 +30,9 @@ __all__ = [
     "Method",
     "Plan",
     "PlanStep",
+    "amortized_reconfig_ps",
     "break_even_runs",
+    "break_even_table",
     "measure_episode",
     "TaskProfile",
     "TransferCosts",

@@ -16,13 +16,21 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import TransferError
 
 
 def break_even_runs(reconfig_ps: int, sw_run_ps: int, hw_run_ps: int) -> float:
     """Runs of a task needed before reconfigure+hardware beats software.
 
-    Returns ``inf`` when hardware is not faster per run at all.
+    Edge-case contract (shared with :func:`break_even_table`):
+
+    * ``reconfig_ps == 0`` and hardware faster → ``0.0`` (always swap);
+    * hardware not faster per run (``sw_run_ps <= hw_run_ps``) → ``inf``
+      (software-always kernel — never divides by the non-positive gain);
+    * negative reconfiguration time or non-positive run times raise
+      :class:`~repro.errors.TransferError`.
     """
     if reconfig_ps < 0 or sw_run_ps <= 0 or hw_run_ps <= 0:
         raise TransferError("times must be positive")
@@ -30,6 +38,43 @@ def break_even_runs(reconfig_ps: int, sw_run_ps: int, hw_run_ps: int) -> float:
     if gain <= 0:
         return math.inf
     return reconfig_ps / gain
+
+
+def break_even_table(reconfig_ps, sw_run_ps, hw_run_ps) -> np.ndarray:
+    """Vectorized :func:`break_even_runs` over kernel×size cost tables.
+
+    Broadcasts the three inputs and returns a float array of break-even
+    run counts with the same edge-case contract as the scalar form:
+    ``inf`` marks software-always entries, ``0.0`` marks free swaps, and
+    the division is masked so no divide-by-zero ever executes (the
+    historical bug this helper centralises away from callers).
+    """
+    reconfig = np.asarray(reconfig_ps, dtype=np.int64)
+    sw = np.asarray(sw_run_ps, dtype=np.int64)
+    hw = np.asarray(hw_run_ps, dtype=np.int64)
+    if np.any(reconfig < 0) or np.any(sw <= 0) or np.any(hw <= 0):
+        raise TransferError("times must be positive")
+    reconfig, sw, hw = np.broadcast_arrays(reconfig, sw, hw)
+    gain = sw - hw
+    out = np.full(gain.shape, np.inf, dtype=np.float64)
+    profitable = gain > 0
+    np.divide(reconfig, gain, out=out, where=profitable)
+    return out
+
+
+def amortized_reconfig_ps(reconfig_ps: int, run_lengths) -> np.ndarray:
+    """Per-run share of one reconfiguration amortised over run batches.
+
+    ``run_lengths`` is an integer array of consecutive-run counts; every
+    entry must be >= 1 (a swap is only ever paid for at least one run).
+    Returns ``reconfig_ps / run_lengths`` as floats.
+    """
+    if reconfig_ps < 0:
+        raise TransferError("reconfiguration time must be non-negative")
+    lengths = np.asarray(run_lengths, dtype=np.int64)
+    if lengths.size and np.any(lengths <= 0):
+        raise TransferError("every run batch must contain at least one run")
+    return reconfig_ps / lengths.astype(np.float64)
 
 
 @dataclass(frozen=True)

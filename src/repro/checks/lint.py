@@ -33,6 +33,12 @@ module.  The rules encode the modelling contract documented in
   compiler charges time and statistics by extrapolation.  A bulk body
   that drives CPU/bus primitives or writes timing cursors double-charges
   the phase and silently breaks fast/slow equivalence.
+* **LINT009** — serve-decision discipline.  ``decide_*`` admission
+  kernels feed both scheduler paths and the result cache, so they must
+  be pure functions of their cost arguments (no loops, RNG, clock or
+  environment reads, no global state); and scenarios tagged ``serve``
+  must not loop over per-request trace/outcome data in Python — that
+  work belongs inside :mod:`repro.serve.engine`'s vectorized fast path.
 
 Per-line suppression: append ``# repro: noqa RULE-ID[,RULE-ID...]`` to
 silence named rules on that line, or ``# repro: noqa`` to silence all.
@@ -104,6 +110,15 @@ register_rule(
     "A run_steady bulk callback moves data only; the phase compiler "
     "extrapolates time and statistics, so engine-state mutation inside it "
     "double-charges the phase and breaks fast/slow equivalence.",
+)
+register_rule(
+    "LINT009",
+    "serve-decision-discipline",
+    "decide_* admission kernels must be pure functions of their cost "
+    "arguments (no loops, RNG, clock or environment reads, no global "
+    "state), and serve-tagged scenarios must not loop over per-request "
+    "trace/outcome data in Python — per-request work belongs inside the "
+    "vectorized engine.",
 )
 
 #: Calls that read the host clock: root module name -> attribute names.
@@ -339,6 +354,73 @@ def _is_broad_handler(handler_type: Optional[ast.AST]) -> bool:
         if name in _BROAD_EXCEPTIONS:
             return True
     return False
+
+
+#: Callees whose result is per-request data (LINT009): the serve trace
+#: generators, the engine entry point, and the scenarios' shared input
+#: builder.  ``*_trace`` catches poisson_trace/bursty_trace/diurnal_trace
+#: and future arrival models without enumeration.
+_PER_REQUEST_SOURCES = {"simulate", "make_trace", "build_serve_inputs"}
+_PER_REQUEST_SOURCE_SUFFIX = "_trace"
+
+#: Function-name prefix marking an admission decision kernel (LINT009).
+_DECISION_PREFIX = "decide_"
+
+
+def _is_trace_source_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+    return bool(name) and (
+        name in _PER_REQUEST_SOURCES or name.endswith(_PER_REQUEST_SOURCE_SUFFIX)
+    )
+
+
+def _per_request_tainted(node) -> Set[str]:
+    """Locals holding per-request data: assigned from a trace source call,
+    or aliased/projected (``lat = outcome.latency_ps``) from one.
+
+    Deliberately does *not* propagate through other calls: a reducer like
+    ``ServeReport.from_outcome(outcome)`` returns aggregates, and looping
+    over those is fine.
+    """
+    tainted: Set[str] = set()
+    for _ in range(2):
+        for child in ast.walk(node):
+            value = None
+            targets: List[ast.AST] = []
+            if isinstance(child, ast.Assign):
+                value, targets = child.value, list(child.targets)
+            elif isinstance(child, (ast.AnnAssign, ast.NamedExpr)):
+                value, targets = child.value, [child.target]
+            if value is None:
+                continue
+            if _is_trace_source_call(value) or _base_name(value) in tainted:
+                for target in targets:
+                    tainted.update(_bound_names(target))
+    return tainted
+
+
+def _scenario_tags(node) -> Set[str]:
+    """Literal string tags in the function's ``@scenario(..., tags=(...))``."""
+    tags: Set[str] = set()
+    for dec in node.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        target = dec.func
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(
+            target, "id", None
+        )
+        if name not in _SCENARIO_DECORATORS:
+            continue
+        for keyword in dec.keywords:
+            if keyword.arg != "tags":
+                continue
+            for child in ast.walk(keyword.value):
+                if isinstance(child, ast.Constant) and isinstance(child.value, str):
+                    tags.add(child.value)
+    return tags
 
 
 def _is_scenario_decorated(node) -> bool:
@@ -685,6 +767,10 @@ class _Visitor(ast.NodeVisitor):
             )
         if _is_scenario_decorated(node):
             self._scan_scenario_purity(node)
+            if "serve" in _scenario_tags(node):
+                self._scan_serve_scenario(node)
+        if node.name.startswith(_DECISION_PREFIX):
+            self._scan_decision_purity(node)
         self._taint_stack.append(_tainted_names(node))
         try:
             self.generic_visit(node)
@@ -757,6 +843,85 @@ class _Visitor(ast.NodeVisitor):
                             f"module-level {base!r}",
                             hint=hint,
                         )
+
+    # -- LINT009: serve-decision discipline -------------------------------
+    def _scan_decision_purity(self, node) -> None:
+        """Flag state, loops, RNG and environment reads in a ``decide_*``
+        kernel.  (Wall-clock reads are already LINT001 everywhere.)"""
+        hint = (
+            "decide_* kernels feed both scheduler paths and the result "
+            "cache; keep them pure over their cost-table arguments"
+        )
+        for child in ast.walk(node):
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                kind = "while" if isinstance(child, ast.While) else "for"
+                self._flag(
+                    "LINT009",
+                    child,
+                    f"decision kernel {node.name!r} contains a {kind} loop",
+                    hint=hint,
+                )
+            elif isinstance(child, (ast.Global, ast.Nonlocal)):
+                self._flag(
+                    "LINT009",
+                    child,
+                    f"decision kernel {node.name!r} declares "
+                    f"{'global' if isinstance(child, ast.Global) else 'nonlocal'} "
+                    f"{', '.join(child.names)}",
+                    hint=hint,
+                )
+            elif isinstance(child, ast.Call):
+                func = child.func
+                name = func.attr if isinstance(func, ast.Attribute) else getattr(
+                    func, "id", None
+                )
+                root = _root_name(func) if isinstance(func, ast.Attribute) else None
+                if name == "default_rng" or root == "random":
+                    self._flag(
+                        "LINT009",
+                        child,
+                        f"decision kernel {node.name!r} draws randomness",
+                        hint=hint,
+                    )
+                elif root == "os" and name == "getenv":
+                    self._flag(
+                        "LINT009",
+                        child,
+                        f"decision kernel {node.name!r} reads the environment",
+                        hint=hint,
+                    )
+            elif isinstance(child, ast.Attribute) and child.attr == "environ":
+                if _root_name(child) == "os":
+                    self._flag(
+                        "LINT009",
+                        child,
+                        f"decision kernel {node.name!r} reads os.environ",
+                        hint=hint,
+                    )
+
+    def _scan_serve_scenario(self, node) -> None:
+        """Flag Python loops over per-request data in a serve scenario."""
+        tainted = _per_request_tainted(node)
+        hint = (
+            "per-request work belongs in repro.serve.engine's vectorized "
+            "fast path; reduce outcome arrays with NumPy instead"
+        )
+        for child in ast.walk(node):
+            if isinstance(child, (ast.For, ast.AsyncFor)):
+                iters = [child.iter]
+            elif isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters = [gen.iter for gen in child.generators]
+            else:
+                continue
+            for it in iters:
+                if _is_trace_source_call(it) or _base_name(it) in tainted:
+                    self._flag(
+                        "LINT009",
+                        it,
+                        f"serve scenario {node.name!r} iterates per-request "
+                        "trace/outcome data in Python",
+                        hint=hint,
+                    )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node)

@@ -11,6 +11,7 @@ writing a script::
     python -m repro trace --words 64        # bus-level transaction trace
     python -m repro check                   # DRC + self-lint (docs/CHECKS.md)
     python -m repro sweep run --jobs 4      # parallel scenario sweep (docs/SWEEP.md)
+    python -m repro serve --requests 100000 # multi-tenant scheduler (docs/SERVE.md)
 
 ``demo`` and ``transfers`` run the cheap system DRC before simulating
 (disable with ``--no-drc``); a configuration that fails design rules dies
@@ -24,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from .checks import cli as checks_cli
+from .serve import cli as serve_cli
 from .sweep import cli as sweep_cli
 from .core import (
     TransferBench,
@@ -253,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cli.add_arguments(p_sweep)
     p_sweep.set_defaults(func=sweep_cli.run)
+
+    p_serve = sub.add_parser(
+        "serve", help="multi-tenant reconfiguration scheduler (docs/SERVE.md)"
+    )
+    serve_cli.add_arguments(p_serve)
+    p_serve.set_defaults(func=serve_cli.run)
 
     p_assess = sub.add_parser(
         "assess", help="lower-bound feasibility check for a hardware candidate"

@@ -161,6 +161,19 @@ class ReconfigManager:
     def kernel(self, name: str) -> StreamingKernel:
         return self._library[name][0]
 
+    def component(self, name: str):
+        """The synthesised component registered for ``name``.
+
+        Public accessor for area queries (e.g. the serve region allocator
+        reads CLB-column widths); raises the same error as :meth:`load`
+        for unregistered kernels.
+        """
+        if name not in self._library:
+            raise ReconfigurationError(
+                f"kernel {name!r} not registered with {self.system.name}"
+            )
+        return self._library[name][1]
+
     # -- fault hooks ---------------------------------------------------------
     def _plan(self):
         """The armed :class:`~repro.faults.plan.FaultPlan`, or None."""

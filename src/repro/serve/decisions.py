@@ -1,0 +1,57 @@
+"""The pure admission decision kernel of the serve scheduler.
+
+One function, :func:`decide_segment`, answers the paper's question for a
+*segment* — a maximal run of same-kernel requests dispatched together in
+one epoch: keep the resident kernel, pay a partial reconfiguration, or
+fall back to software.  It is deliberately free of any state, clock, or
+I/O: both scheduler paths call it with plain integers read from the cost
+tables, which is what makes the fast/reference equivalence and the
+result-cache keying sound (LINT009 enforces the discipline for every
+``decide_*`` function).
+"""
+
+from __future__ import annotations
+
+#: Request/segment decision codes (uint8 in the outcome arrays).
+DECISION_RESIDENT = 0
+DECISION_RECONFIG = 1
+DECISION_SOFTWARE = 2
+
+DECISION_LABELS = {
+    DECISION_RESIDENT: "resident",
+    DECISION_RECONFIG: "reconfig",
+    DECISION_SOFTWARE: "software",
+}
+
+
+def decide_segment(
+    reconfig_ps: int,
+    segment_hw_ps: int,
+    segment_sw_ps: int,
+    resident: bool,
+    future_hw_ps: int,
+    future_sw_ps: int,
+) -> int:
+    """Admission decision for one same-kernel segment.
+
+    ``segment_*_ps`` are the summed run costs of the segment itself;
+    ``future_*_ps`` are the horizon sums the residency policy amortises
+    the swap against (the segment alone for LRU, a lookahead window for
+    the oracle).  The decision mirrors the break-even rule of
+    :func:`repro.analysis.amortization.break_even_runs`:
+
+    * already resident → hardware whenever it beats software per segment
+      (the swap is sunk cost);
+    * software-always kernels (``hw >= sw``) never trigger a swap;
+    * otherwise swap iff the reconfiguration amortises over the horizon:
+      ``reconfig_ps + future_hw_ps < future_sw_ps``.
+    """
+    if resident:
+        if segment_hw_ps < segment_sw_ps:
+            return DECISION_RESIDENT
+        return DECISION_SOFTWARE
+    if segment_hw_ps >= segment_sw_ps:
+        return DECISION_SOFTWARE
+    if reconfig_ps + future_hw_ps < future_sw_ps:
+        return DECISION_RECONFIG
+    return DECISION_SOFTWARE

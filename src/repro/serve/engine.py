@@ -1,0 +1,451 @@
+"""The serve scheduler: one server (the dynamic area + CPU), many tenants.
+
+Requests arrive on a columnar trace (:mod:`repro.workloads.traces`) and
+are dispatched in **epochs** (fixed batching quantum): every request is
+released at the end of the epoch it arrived in, which is what lets the
+scheduler group same-kernel requests and amortise reconfigurations.
+Within an epoch, requests are grouped by kernel and the groups ordered by
+the queue policy (FIFO / priority / EDF) applied to group aggregates;
+each maximal same-kernel run forms a **segment**, the granularity at
+which the admission decision (:mod:`repro.serve.decisions`) and the
+region allocator (:mod:`repro.serve.regions`) operate.
+
+Two implementations produce byte-identical outcomes:
+
+* the **fast path** — one global ``np.lexsort`` for the service order,
+  ``ufunc.reduceat`` for group/segment aggregates and a closed-form
+  queueing recurrence (``finish = maximum.accumulate(dispatch - C_prev)
+  + C``), so per-request Python work is zero;
+* the **reference path** — a plain per-request Python loop, kept as
+  ground truth behind ``REPRO_NO_FAST_PATH``
+  (:mod:`repro.engine.fastpath`).
+
+Both paths share the scalar per-segment driver (:func:`_run_segments`),
+so policy decisions and allocator state transitions are computed by the
+same code — the equivalence tests pin decisions, latencies and stats.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine import fastpath
+from ..errors import ReproError
+from ..workloads.traces import validate_trace
+from .costtable import CostTable
+from .decisions import (
+    DECISION_RECONFIG,
+    DECISION_RESIDENT,
+    DECISION_SOFTWARE,
+    decide_segment,
+)
+from .regions import NEVER, RegionAllocator
+
+QUEUE_POLICIES = ("fifo", "priority", "edf")
+RESIDENCY_POLICIES = ("lru", "oracle")
+
+#: Default dispatch quantum: 20 ms — roughly 1.4 reconfigurations long,
+#: wide enough to batch same-kernel requests, short against deadlines.
+DEFAULT_EPOCH_PS = 20_000_000_000
+
+
+class ServeError(ReproError):
+    """The serve scheduler was configured or driven incorrectly."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One scheduler configuration (a queue × residency policy point)."""
+
+    queue: str = "fifo"
+    residency: str = "lru"
+    epoch_ps: int = DEFAULT_EPOCH_PS
+    #: Override the region width in CLB columns (None = the rig's region).
+    region_cols: Optional[int] = None
+    defrag: bool = True
+    #: Oracle residency: amortisation horizon in segments.
+    oracle_lookahead: int = 64
+
+    def __post_init__(self) -> None:
+        if self.queue not in QUEUE_POLICIES:
+            raise ServeError(
+                f"unknown queue policy {self.queue!r}; known: {QUEUE_POLICIES}"
+            )
+        if self.residency not in RESIDENCY_POLICIES:
+            raise ServeError(
+                f"unknown residency policy {self.residency!r}; "
+                f"known: {RESIDENCY_POLICIES}"
+            )
+        if self.epoch_ps <= 0:
+            raise ServeError("epoch_ps must be positive")
+        if self.region_cols is not None and self.region_cols <= 0:
+            raise ServeError("region_cols must be positive")
+        if self.oracle_lookahead < 1:
+            raise ServeError("oracle_lookahead must be >= 1")
+
+    def label(self) -> str:
+        return f"{self.queue}/{self.residency}"
+
+
+@dataclass
+class ServeOutcome:
+    """Raw simulation output (identical between fast and reference paths).
+
+    Request-indexed arrays are in original trace order; segment arrays
+    are in service order.
+    """
+
+    config: ServeConfig
+    requests: int
+    decisions: np.ndarray        # uint8 per request
+    finish_ps: np.ndarray        # int64 per request
+    latency_ps: np.ndarray       # int64 per request
+    service_order: np.ndarray    # int64: trace indices in service order
+    busy_ps: int
+    span_ps: int
+    seg_kernel: np.ndarray       # int64 per segment
+    seg_len: np.ndarray          # int64 per segment
+    seg_decision: np.ndarray     # uint8 per segment
+    seg_overhead_ps: np.ndarray  # int64 per segment (reconfig + defrag)
+    alloc: Dict[str, object] = field(default_factory=dict)
+    trace: Optional[np.ndarray] = None
+    table: Optional[CostTable] = None
+
+    def observables(self) -> Dict[str, object]:
+        """Everything the equivalence tests compare, as plain lists."""
+        return {
+            "decisions": self.decisions.tolist(),
+            "finish_ps": self.finish_ps.tolist(),
+            "latency_ps": self.latency_ps.tolist(),
+            "service_order": self.service_order.tolist(),
+            "busy_ps": int(self.busy_ps),
+            "span_ps": int(self.span_ps),
+            "seg_kernel": self.seg_kernel.tolist(),
+            "seg_len": self.seg_len.tolist(),
+            "seg_decision": self.seg_decision.tolist(),
+            "seg_overhead_ps": self.seg_overhead_ps.tolist(),
+            "alloc": dict(self.alloc),
+        }
+
+
+def _run_segments(
+    seg_kernel: Sequence[int],
+    seg_hw: Sequence[int],
+    seg_sw: Sequence[int],
+    table: CostTable,
+    config: ServeConfig,
+) -> Tuple[List[int], List[int], Dict[str, object]]:
+    """Drive the admission decision + allocator over the segment stream.
+
+    Scalar by design and shared verbatim by both scheduler paths: the
+    segment stream is thousands of entries per million requests, so this
+    loop is off the hot path, and sharing it makes the fast/reference
+    decision equivalence structural rather than coincidental.
+    """
+    cols = config.region_cols if config.region_cols is not None else table.region_cols
+    alloc = RegionAllocator(
+        cols,
+        [int(w) for w in table.widths],
+        [int(r) for r in table.reconfig_ps],
+        defrag=config.defrag,
+    )
+    reconfig = [int(r) for r in table.reconfig_ps]
+    count = len(seg_kernel)
+
+    positions: Dict[int, List[int]] = {}
+    occurrence: List[int] = [0] * count
+    pre_hw: Dict[int, List[int]] = {}
+    pre_sw: Dict[int, List[int]] = {}
+    if config.residency == "oracle":
+        for i in range(count):
+            lst = positions.setdefault(seg_kernel[i], [])
+            occurrence[i] = len(lst)
+            lst.append(i)
+        for k, pos in positions.items():
+            hw_acc = [0]
+            sw_acc = [0]
+            for i in pos:
+                hw_acc.append(hw_acc[-1] + seg_hw[i])
+                sw_acc.append(sw_acc[-1] + seg_sw[i])
+            pre_hw[k] = hw_acc
+            pre_sw[k] = sw_acc
+
+    def next_use_after(current: int):
+        """Oracle eviction helper: next segment index using a kernel."""
+
+        def lookup(victim: int) -> int:
+            lst = positions.get(victim)
+            if not lst:
+                return NEVER
+            j = bisect.bisect_right(lst, current)
+            return lst[j] if j < len(lst) else NEVER
+
+        return lookup
+
+    decisions: List[int] = []
+    overhead: List[int] = []
+    for i in range(count):
+        k = seg_kernel[i]
+        s_hw = seg_hw[i]
+        s_sw = seg_sw[i]
+        if config.residency == "oracle":
+            pos = positions[k]
+            m = occurrence[i]
+            hi = bisect.bisect_right(pos, i + config.oracle_lookahead)
+            f_hw = pre_hw[k][hi] - pre_hw[k][m]
+            f_sw = pre_sw[k][hi] - pre_sw[k][m]
+            next_use = next_use_after(i)
+        else:
+            f_hw = s_hw
+            f_sw = s_sw
+            next_use = None
+        dec = decide_segment(reconfig[k], s_hw, s_sw, alloc.resident(k), f_hw, f_sw)
+        extra = 0
+        if dec == DECISION_RECONFIG:
+            placed, defrag_ps = alloc.allocate(k, next_use=next_use)
+            if placed:
+                extra = reconfig[k] + defrag_ps
+            else:  # wider than the whole region: software forever
+                dec = DECISION_SOFTWARE
+        elif dec == DECISION_RESIDENT:
+            alloc.touch(k)
+        decisions.append(dec)
+        overhead.append(extra)
+    return decisions, overhead, alloc.stats()
+
+
+def _validated_inputs(trace: np.ndarray, table: CostTable) -> None:
+    validate_trace(trace, kernels=len(table.kernels))
+    if int(trace["size"].max()) >= table.size_classes:
+        raise ServeError(
+            f"trace size classes exceed the cost table's {table.size_classes}"
+        )
+
+
+def simulate(trace: np.ndarray, table: CostTable, config: ServeConfig) -> ServeOutcome:
+    """Run the scheduler over a trace; dispatches on the fast-path gate."""
+    _validated_inputs(trace, table)
+    if fastpath.enabled():
+        return _simulate_fast(trace, table, config)
+    return _simulate_reference(trace, table, config)
+
+
+def _policy_keys(
+    config: ServeConfig,
+    epoch: np.ndarray,
+    arrival: np.ndarray,
+    deadline: np.ndarray,
+    priority: np.ndarray,
+    g_min_arrival: np.ndarray,
+    g_max_priority: np.ndarray,
+    g_min_deadline: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(g1, g2, w1, w2) sort keys for the configured queue policy.
+
+    ``g*`` order same-epoch kernel groups; ``w*`` order requests inside a
+    group.  The scalar reference path builds the identical tuples.
+    """
+    zeros = np.zeros(arrival.size, dtype=np.int64)
+    if config.queue == "fifo":
+        return g_min_arrival, zeros, arrival, zeros
+    if config.queue == "priority":
+        return -g_max_priority, g_min_arrival, -priority, arrival
+    return g_min_deadline, zeros, deadline, arrival  # edf
+
+
+def _simulate_fast(
+    trace: np.ndarray, table: CostTable, config: ServeConfig
+) -> ServeOutcome:
+    n = int(trace.size)
+    arrival = trace["arrival_ps"].astype(np.int64)
+    kern = trace["kernel"].astype(np.int64)
+    size = trace["size"].astype(np.int64)
+    deadline = trace["deadline_ps"].astype(np.int64)
+    priority = trace["priority"].astype(np.int64)
+
+    epoch = arrival // config.epoch_ps + 1
+    kernel_count = len(table.kernels)
+    gid = epoch * kernel_count + kern
+
+    # Group aggregates (epoch × kernel) via sort + reduceat.
+    g_order = np.argsort(gid, kind="stable")
+    sorted_gid = gid[g_order]
+    g_starts = np.flatnonzero(np.r_[True, sorted_gid[1:] != sorted_gid[:-1]])
+    g_index = np.searchsorted(sorted_gid[g_starts], gid)
+    g_min_arrival = np.minimum.reduceat(arrival[g_order], g_starts)[g_index]
+    g_max_priority = np.maximum.reduceat(priority[g_order], g_starts)[g_index]
+    g_min_deadline = np.minimum.reduceat(deadline[g_order], g_starts)[g_index]
+
+    g1, g2, w1, w2 = _policy_keys(
+        config, epoch, arrival, deadline, priority,
+        g_min_arrival, g_max_priority, g_min_deadline,
+    )
+    # np.lexsort: last key is most significant; the trailing index key
+    # makes the order (and thus equivalence) explicit, not just stable.
+    order = np.lexsort(
+        (np.arange(n, dtype=np.int64), w2, w1, kern, g2, g1, epoch)
+    )
+
+    ke = kern[order]
+    ee = epoch[order]
+    hw_cost = table.hw_run_ps[ke, size[order]]
+    sw_cost = table.sw_run_ps[ke, size[order]]
+
+    # Segments: maximal same-kernel runs within an epoch.
+    boundary = np.r_[True, (ke[1:] != ke[:-1]) | (ee[1:] != ee[:-1])]
+    seg_starts = np.flatnonzero(boundary)
+    seg_len = np.diff(np.r_[seg_starts, n])
+    seg_kernel = ke[seg_starts]
+    seg_hw = np.add.reduceat(hw_cost, seg_starts)
+    seg_sw = np.add.reduceat(sw_cost, seg_starts)
+
+    seg_dec_list, seg_overhead_list, alloc_stats = _run_segments(
+        seg_kernel.tolist(), seg_hw.tolist(), seg_sw.tolist(), table, config
+    )
+    seg_decision = np.asarray(seg_dec_list, dtype=np.uint8)
+    seg_overhead = np.asarray(seg_overhead_list, dtype=np.int64)
+
+    # Per-request service costs + the closed-form queueing recurrence:
+    # finish_i = max(dispatch_i, finish_{i-1}) + cost_i  ==
+    # maximum.accumulate(dispatch - C_prev) + C  (exact, by induction).
+    dec_req = np.repeat(seg_decision, seg_len)
+    cost = np.where(dec_req == DECISION_SOFTWARE, sw_cost, hw_cost)
+    extra = np.zeros(n, dtype=np.int64)
+    extra[seg_starts] = seg_overhead
+    total = cost + extra
+    csum = np.cumsum(total)
+    dispatch_sorted = ee * config.epoch_ps
+    finish_sorted = np.maximum.accumulate(dispatch_sorted - (csum - total)) + csum
+
+    finish = np.empty(n, dtype=np.int64)
+    finish[order] = finish_sorted
+    decisions = np.empty(n, dtype=np.uint8)
+    decisions[order] = dec_req
+    latency = finish - arrival
+    return ServeOutcome(
+        config=config,
+        requests=n,
+        decisions=decisions,
+        finish_ps=finish,
+        latency_ps=latency,
+        service_order=order.astype(np.int64),
+        busy_ps=int(total.sum()),
+        span_ps=int(finish_sorted[-1]),
+        seg_kernel=seg_kernel.astype(np.int64),
+        seg_len=seg_len.astype(np.int64),
+        seg_decision=seg_decision,
+        seg_overhead_ps=seg_overhead,
+        alloc=alloc_stats,
+        trace=trace,
+        table=table,
+    )
+
+
+def _simulate_reference(
+    trace: np.ndarray, table: CostTable, config: ServeConfig
+) -> ServeOutcome:
+    """Ground-truth scalar scheduler (``REPRO_NO_FAST_PATH``)."""
+    n = int(trace.size)
+    arrival = [int(v) for v in trace["arrival_ps"]]
+    kern = [int(v) for v in trace["kernel"]]
+    size = [int(v) for v in trace["size"]]
+    deadline = [int(v) for v in trace["deadline_ps"]]
+    priority = [int(v) for v in trace["priority"]]
+    hw_tab = [[int(v) for v in row] for row in table.hw_run_ps]
+    sw_tab = [[int(v) for v in row] for row in table.sw_run_ps]
+
+    epoch = [a // config.epoch_ps + 1 for a in arrival]
+
+    # Group aggregates (epoch × kernel): [min arrival, max prio, min deadline].
+    group: Dict[Tuple[int, int], List[int]] = {}
+    for i in range(n):
+        entry = group.get((epoch[i], kern[i]))
+        if entry is None:
+            group[(epoch[i], kern[i])] = [arrival[i], priority[i], deadline[i]]
+        else:
+            entry[0] = min(entry[0], arrival[i])
+            entry[1] = max(entry[1], priority[i])
+            entry[2] = min(entry[2], deadline[i])
+
+    def sort_key(i: int) -> Tuple[int, int, int, int, int, int, int]:
+        agg = group[(epoch[i], kern[i])]
+        if config.queue == "fifo":
+            return (epoch[i], agg[0], 0, kern[i], arrival[i], 0, i)
+        if config.queue == "priority":
+            return (epoch[i], -agg[1], agg[0], kern[i], -priority[i], arrival[i], i)
+        return (epoch[i], agg[2], 0, kern[i], deadline[i], arrival[i], i)
+
+    order = sorted(range(n), key=sort_key)
+
+    # Segments in service order.
+    seg_kernel: List[int] = []
+    seg_hw: List[int] = []
+    seg_sw: List[int] = []
+    seg_len: List[int] = []
+    seg_of_pos: List[int] = []
+    previous: Optional[Tuple[int, int]] = None
+    for i in order:
+        key = (epoch[i], kern[i])
+        if key != previous:
+            seg_kernel.append(kern[i])
+            seg_hw.append(0)
+            seg_sw.append(0)
+            seg_len.append(0)
+            previous = key
+        seg = len(seg_kernel) - 1
+        seg_of_pos.append(seg)
+        seg_hw[seg] += hw_tab[kern[i]][size[i]]
+        seg_sw[seg] += sw_tab[kern[i]][size[i]]
+        seg_len[seg] += 1
+
+    seg_decision, seg_overhead, alloc_stats = _run_segments(
+        seg_kernel, seg_hw, seg_sw, table, config
+    )
+
+    # Per-request timeline: one server, explicit recurrence.
+    finish = [0] * n
+    decisions = [0] * n
+    busy = 0
+    server_free = 0
+    previous_seg = -1
+    for pos in range(n):
+        i = order[pos]
+        seg = seg_of_pos[pos]
+        dec = seg_decision[seg]
+        cost = (
+            sw_tab[kern[i]][size[i]]
+            if dec == DECISION_SOFTWARE
+            else hw_tab[kern[i]][size[i]]
+        )
+        if seg != previous_seg:
+            cost += seg_overhead[seg]
+            previous_seg = seg
+        dispatch = epoch[i] * config.epoch_ps
+        start = dispatch if dispatch > server_free else server_free
+        server_free = start + cost
+        finish[i] = server_free
+        decisions[i] = dec
+        busy += cost
+
+    latency = [finish[i] - arrival[i] for i in range(n)]
+    return ServeOutcome(
+        config=config,
+        requests=n,
+        decisions=np.asarray(decisions, dtype=np.uint8),
+        finish_ps=np.asarray(finish, dtype=np.int64),
+        latency_ps=np.asarray(latency, dtype=np.int64),
+        service_order=np.asarray(order, dtype=np.int64),
+        busy_ps=busy,
+        span_ps=server_free,
+        seg_kernel=np.asarray(seg_kernel, dtype=np.int64),
+        seg_len=np.asarray(seg_len, dtype=np.int64),
+        seg_decision=np.asarray(seg_decision, dtype=np.uint8),
+        seg_overhead_ps=np.asarray(seg_overhead, dtype=np.int64),
+        alloc=alloc_stats,
+        trace=trace,
+        table=table,
+    )

@@ -22,7 +22,20 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Protocol, runtime_checkable
 
 from ..cpu.ppc405 import Ppc405
+from ..errors import TransferError
 from ..mem.memory import MemoryArray
+
+
+def _require_count(count: int, what: str) -> bool:
+    """Validate a transfer count; True when there is anything to charge.
+
+    Zero is a legal no-op (empty batch); a negative count is always a
+    caller bug and used to be swallowed silently — the scheduler's batch
+    cost tables lean on these helpers, so it now fails loudly.
+    """
+    if count < 0:
+        raise TransferError(f"negative {what} count: {count}")
+    return count > 0
 
 
 @runtime_checkable
@@ -57,7 +70,7 @@ class RunResult:
 
 def charge_word_reads(system: SystemFacade, address: int, count: int) -> None:
     """Time for ``count`` sequential 32-bit loads from external memory."""
-    if count <= 0:
+    if not _require_count(count, "word-read"):
         return
     if system.ext_mem_cacheable:
         system.cpu.charge_stream_read(address, count * 4)
@@ -74,7 +87,7 @@ def charge_word_writes(
     ``allocate=False`` passes through to the dcbz-style streaming-store
     optimisation (cacheable systems only; harmless elsewhere).
     """
-    if count <= 0:
+    if not _require_count(count, "word-write"):
         return
     if system.ext_mem_cacheable:
         system.cpu.charge_stream_write(address, count * 4, allocate=allocate)
@@ -93,7 +106,9 @@ def charge_repeated_word_reads(
     Models sliding-window code that revisits the same data (pattern
     matching reads each strip word ~8 times).
     """
-    if total_loads <= 0:
+    if unique_bytes < 0:
+        raise TransferError(f"negative repeated-read window: {unique_bytes}")
+    if not _require_count(total_loads, "repeated-read"):
         return
     if system.ext_mem_cacheable:
         system.cpu.charge_stream_read(address, unique_bytes)
@@ -108,7 +123,7 @@ def charge_byte_reads(system: SystemFacade, address: int, count: int) -> None:
     Uncached, every byte is a full bus transaction — the pattern that
     makes naive byte-wise C so expensive on the 32-bit system.
     """
-    if count <= 0:
+    if not _require_count(count, "byte-read"):
         return
     if system.ext_mem_cacheable:
         system.cpu.charge_stream_read(address, count)
@@ -119,7 +134,7 @@ def charge_byte_reads(system: SystemFacade, address: int, count: int) -> None:
 
 def charge_byte_writes(system: SystemFacade, address: int, count: int) -> None:
     """Time for ``count`` sequential byte stores (stb) to external memory."""
-    if count <= 0:
+    if not _require_count(count, "byte-write"):
         return
     if system.ext_mem_cacheable:
         system.cpu.charge_stream_write(address, count)

@@ -1,4 +1,4 @@
-"""Synthetic workload generators (images, patterns, keys)."""
+"""Synthetic workload generators (images, patterns, keys, request traces)."""
 
 from .images import (
     binary_image,
@@ -23,3 +23,27 @@ __all__ = [
 from .keys import zipf_key_batch  # noqa: E402
 
 __all__.append("zipf_key_batch")
+
+from .traces import (  # noqa: E402
+    ARRIVAL_MODELS,
+    TRACE_DTYPE,
+    bursty_trace,
+    derive_trace_seed,
+    diurnal_trace,
+    make_trace,
+    poisson_trace,
+    trace_summary,
+    validate_trace,
+)
+
+__all__ += [
+    "ARRIVAL_MODELS",
+    "TRACE_DTYPE",
+    "bursty_trace",
+    "derive_trace_seed",
+    "diurnal_trace",
+    "make_trace",
+    "poisson_trace",
+    "trace_summary",
+    "validate_trace",
+]

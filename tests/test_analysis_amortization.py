@@ -111,3 +111,67 @@ def test_planner_matches_timeshared_example_logic(system32, manager32):
     assert not plan.steps[0].use_hardware  # 2 runs never amortise ~28 ms
     plan = EpisodePlanner().plan([many])
     assert plan.steps[0].use_hardware
+
+
+# -- vectorized break-even table and amortized-cost helpers ------------------
+
+def test_break_even_table_matches_scalar():
+    import numpy as np
+
+    from repro.analysis import break_even_table
+
+    reconfig = np.array([[10_000], [20_000]])
+    sw = np.array([300, 500])
+    hw = np.array([100, 500 + 1])  # second column: hw slower than sw
+    table = break_even_table(reconfig, sw, hw)
+    assert table.shape == (2, 2)
+    assert table[0, 0] == pytest.approx(break_even_runs(10_000, 300, 100))
+    assert math.isinf(table[0, 1]) and math.isinf(table[1, 1])
+
+
+def test_break_even_table_zero_reconfig_is_free():
+    import numpy as np
+
+    from repro.analysis import break_even_table
+
+    table = break_even_table(0, np.array([300]), np.array([100]))
+    assert table[0] == 0.0
+
+
+def test_break_even_table_equal_costs_never_break_even():
+    import math as _math
+
+    from repro.analysis import break_even_table
+
+    assert _math.isinf(float(break_even_table(10_000, 200, 200)))
+
+
+def test_break_even_table_validates():
+    from repro.analysis import break_even_table
+
+    with pytest.raises(TransferError):
+        break_even_table(-1, 300, 100)
+    with pytest.raises(TransferError):
+        break_even_table(10_000, 0, 100)
+    with pytest.raises(TransferError):
+        break_even_table(10_000, 300, 0)
+
+
+def test_amortized_reconfig_ps_halves_with_run_length():
+    import numpy as np
+
+    from repro.analysis import amortized_reconfig_ps
+
+    curve = amortized_reconfig_ps(1_000_000, np.array([1, 2, 4]))
+    assert curve[0] == 1_000_000.0
+    assert curve[1] == 500_000.0
+    assert curve[2] == 250_000.0
+
+
+def test_amortized_reconfig_ps_validates():
+    from repro.analysis import amortized_reconfig_ps
+
+    with pytest.raises(TransferError):
+        amortized_reconfig_ps(-1, [4])
+    with pytest.raises(TransferError):
+        amortized_reconfig_ps(1_000, [0])

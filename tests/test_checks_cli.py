@@ -27,7 +27,7 @@ EXPECTED_RULES = {
     *(f"BUS00{i}" for i in range(1, 6)),
     *(f"DMA00{i}" for i in range(1, 7)),
     *(f"SYS00{i}" for i in range(1, 4)),
-    *(f"LINT00{i}" for i in range(0, 9)),
+    *(f"LINT00{i}" for i in range(0, 10)),
     *(f"CKEY00{i}" for i in range(1, 6)),
 }
 

@@ -691,3 +691,125 @@ def test_lint008_noqa_suppresses():
         """
     )
     assert found == []
+
+
+# -- LINT009: serve-decision discipline --------------------------------------
+
+def test_lint009_decision_kernel_with_loop():
+    found = lint(
+        """
+        def decide_segment(costs):
+            total = 0
+            for c in costs:
+                total += c
+            return total
+        """
+    )
+    assert ids(found) == {"LINT009"}
+
+
+def test_lint009_decision_kernel_with_rng():
+    found = lint(
+        """
+        from numpy.random import default_rng
+
+        def decide_admit(seed):
+            return default_rng(seed).random() < 0.5
+        """
+    )
+    assert "LINT009" in ids(found)
+
+
+def test_lint009_decision_kernel_reads_environment():
+    found = lint(
+        """
+        import os
+
+        def decide_mode():
+            if os.getenv("SERVE_MODE"):
+                return 1
+            return os.environ["SERVE_MODE"]
+        """
+    )
+    assert ids(found) == {"LINT009"}
+    assert len(found) == 2
+
+
+def test_lint009_pure_decision_kernel_is_clean():
+    found = lint(
+        """
+        def decide_segment(reconfig_ps, hw_ps, sw_ps, resident):
+            if resident:
+                return 0 if hw_ps < sw_ps else 2
+            if reconfig_ps + hw_ps < sw_ps:
+                return 1
+            return 2
+        """
+    )
+    assert found == []
+
+
+def test_lint009_serve_scenario_loops_over_trace():
+    found = lint(
+        """
+        @scenario("s", tags=("serve",), params={"n": 4, "seed": 1})
+        def s(n, seed):
+            trace = make_trace("poisson", n, 100, seed)
+            total = 0
+            for request in trace:
+                total += int(request["size"])
+            return total
+        """
+    )
+    assert ids(found) == {"LINT009"}
+
+
+def test_lint009_serve_scenario_comprehension_over_outcome_projection():
+    found = lint(
+        """
+        @scenario("s", tags=("serve",), params={"n": 4})
+        def s(n):
+            outcome = simulate(build(), table(), config())
+            lat = outcome.latency_ps
+            return [int(x) for x in lat]
+        """
+    )
+    assert ids(found) == {"LINT009"}
+
+
+def test_lint009_serve_scenario_vectorized_is_clean():
+    found = lint(
+        """
+        @scenario("s", tags=("serve",), params={"n": 4, "seed": 1})
+        def s(n, seed):
+            trace = make_trace("poisson", n, 100, seed)
+            outcome = simulate(trace, table(), config())
+            report = summarize(outcome)
+            rows = [[row.bin, row.count] for row in report.curve]
+            return int(outcome.latency_ps.max()), rows
+        """
+    )
+    assert found == []
+
+
+def test_lint009_untagged_scenario_may_loop():
+    found = lint(
+        """
+        @scenario("s", tags=("table",), params={"n": 4, "seed": 1})
+        def s(n, seed):
+            trace = make_trace("poisson", n, 100, seed)
+            return sum(int(r["size"]) for r in trace)
+        """
+    )
+    assert found == []
+
+
+def test_lint009_noqa_suppresses():
+    found = lint(
+        """
+        def decide_debug(costs):
+            for c in costs:  # repro: noqa LINT009 (diagnostic helper)
+                print(c)
+        """
+    )
+    assert found == []

@@ -1,0 +1,75 @@
+"""Serve scenarios: registration, smoke runs, sweep-orchestration equality."""
+
+import json
+
+import pytest
+
+from repro.scenarios import all_scenarios, get_scenario
+from repro.scenarios.registry import run_scenario
+from repro.sweep import ResultCache, run_sweep
+
+SERVE_SCENARIOS = ["serve_policy_matrix", "serve_headline", "serve_fragmentation"]
+
+
+def _wire(outcome):
+    return [
+        json.dumps(o.result.to_dict(), sort_keys=True) if o.result else None
+        for o in outcome.outcomes
+    ]
+
+
+def test_serve_scenarios_registered_with_tag():
+    tagged = {s.name for s in all_scenarios(tags=["serve"])}
+    assert tagged == set(SERVE_SCENARIOS)
+    for name in SERVE_SCENARIOS:
+        entry = get_scenario(name)
+        assert "serve" in entry.tags
+        assert "system64" in entry.tags
+        assert entry.smoke_params  # every serve scenario has a cheap mode
+
+
+@pytest.mark.parametrize("name", SERVE_SCENARIOS)
+def test_serve_scenarios_smoke(name):
+    result = run_scenario(name, smoke=True)
+    assert result.rows, name
+    assert result.headline, name
+
+
+def test_headline_smoke_reports_percentiles_and_utilization():
+    result = run_scenario("serve_headline", smoke=True)
+    headline = result.headline
+    assert headline["p50_ps"] <= headline["p99_ps"] <= headline["p999_ps"]
+    assert 0.0 < headline["utilization"] <= 1.0
+    assert headline["throughput_rps"] > 0
+    assert result.rows  # the amortization curve is never empty
+
+
+def test_policy_matrix_smoke_covers_all_combos():
+    result = run_scenario("serve_policy_matrix", smoke=True)
+    combos = {(row[0], row[1]) for row in result.rows}
+    assert len(combos) == 6
+
+
+def test_fragmentation_smoke_has_both_modes():
+    result = run_scenario("serve_fragmentation", smoke=True)
+    modes = [row[0] for row in result.rows]
+    assert modes == ["compact", "evict-only"]
+    assert result.headline["compact_defrag_events"] >= 1
+    assert result.headline["evict-only_defrag_events"] == 0
+
+
+# -- orchestration equality (parallel == serial == cached) -------------------
+
+def test_serve_sweep_parallel_equals_serial_equals_cached(tmp_path):
+    scenarios = all_scenarios(tags=["serve"])
+    serial = run_sweep(scenarios, jobs=1, cache=None, smoke=True)
+    parallel = run_sweep(scenarios, jobs=2, cache=None, smoke=True)
+    assert serial.ok and parallel.ok
+    assert _wire(serial) == _wire(parallel)
+
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold = run_sweep(scenarios, jobs=1, cache=cache, smoke=True)
+    warm = run_sweep(scenarios, jobs=1, cache=cache, smoke=True)
+    assert cold.ok and warm.ok
+    assert _wire(serial) == _wire(cold) == _wire(warm)
+    assert all(o.cache == "hit" for o in warm.outcomes)

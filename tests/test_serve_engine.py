@@ -1,0 +1,175 @@
+"""Serve engine: fast path == scalar reference, policy semantics, errors.
+
+The load-bearing guarantee mirrors the repo's other fast paths: the
+vectorized scheduler and the per-request reference interpreter must
+produce byte-identical simulated outcomes — decisions, finish
+timestamps, segment structure, allocator stats — on any trace and any
+policy combination.  ``REPRO_NO_FAST_PATH=1`` runs this whole file
+through the reference path (CI does), so the engine's own equivalence
+tests force both paths explicitly via the fastpath contexts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import fastpath
+from repro.scenarios.registry import derive_seed
+from repro.scenarios.rigs import build_rig64
+from repro.serve.costtable import calibrate
+from repro.serve.engine import (
+    QUEUE_POLICIES,
+    RESIDENCY_POLICIES,
+    ServeConfig,
+    ServeError,
+    simulate,
+)
+from repro.serve.report import ServeReport
+from repro.workloads.traces import ARRIVAL_MODELS, make_trace
+
+#: One calibration for the whole module: the cost table is immutable.
+TABLE = calibrate(build_rig64, seed=2006)
+
+ALL_COMBOS = [(q, r) for q in QUEUE_POLICIES for r in RESIDENCY_POLICIES]
+
+
+def trace_for(requests, model="poisson", seed=7, util=0.7):
+    gap = TABLE.mean_gap_for_utilization(util)
+    return make_trace(model, requests, gap, derive_seed(seed, f"t:{model}"))
+
+
+def both_paths(trace, config):
+    with fastpath.forced_on():
+        fast = simulate(trace, TABLE, config)
+    with fastpath.disabled():
+        ref = simulate(trace, TABLE, config)
+    return fast, ref
+
+
+# -- fast == reference --------------------------------------------------------
+
+@pytest.mark.parametrize("queue,residency", ALL_COMBOS)
+def test_fast_equals_reference_10k(queue, residency):
+    trace = trace_for(10_000)
+    config = ServeConfig(queue=queue, residency=residency)
+    fast, ref = both_paths(trace, config)
+    assert fast.observables() == ref.observables()
+    assert ServeReport.from_outcome(fast).to_dict() == (
+        ServeReport.from_outcome(ref).to_dict()
+    )
+
+
+def test_fast_equals_reference_narrow_region_with_defrag():
+    trace = trace_for(6_000, model="bursty", util=0.9)
+    for defrag in (True, False):
+        config = ServeConfig(
+            queue="fifo",
+            residency="oracle",
+            region_cols=17,
+            defrag=defrag,
+            oracle_lookahead=128,
+        )
+        fast, ref = both_paths(trace, config)
+        assert fast.observables() == ref.observables()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    model=st.sampled_from(list(ARRIVAL_MODELS)),
+    queue=st.sampled_from(list(QUEUE_POLICIES)),
+    residency=st.sampled_from(list(RESIDENCY_POLICIES)),
+    requests=st.integers(min_value=1, max_value=400),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_fast_equals_reference_property(model, queue, residency, requests, seed):
+    gap = TABLE.mean_gap_for_utilization(0.8)
+    trace = make_trace(model, requests, gap, seed)
+    config = ServeConfig(queue=queue, residency=residency)
+    fast, ref = both_paths(trace, config)
+    assert fast.observables() == ref.observables()
+
+
+def test_simulate_is_deterministic():
+    trace = trace_for(5_000)
+    config = ServeConfig(queue="edf", residency="oracle")
+    a = simulate(trace, TABLE, config)
+    b = simulate(trace, TABLE, config)
+    assert a.observables() == b.observables()
+
+
+# -- scheduling semantics -----------------------------------------------------
+
+def test_finish_never_precedes_arrival_plus_cost():
+    trace = trace_for(5_000)
+    outcome = simulate(trace, TABLE, ServeConfig())
+    assert np.all(outcome.finish_ps > trace["arrival_ps"])
+    assert np.all(outcome.latency_ps > 0)
+
+
+def test_policies_produce_distinct_latency_profiles():
+    trace = trace_for(10_000)
+    p99 = {}
+    miss = {}
+    for queue in QUEUE_POLICIES:
+        outcome = simulate(trace, TABLE, ServeConfig(queue=queue))
+        report = ServeReport.from_outcome(outcome)
+        p99[queue] = report.p99_ps
+        miss[queue] = report.deadline_miss_rate
+    assert len(set(p99.values())) == 3
+    assert miss["edf"] <= miss["fifo"]
+
+
+def test_oracle_beats_lru_on_busy_time():
+    trace = trace_for(10_000)
+    lru = simulate(trace, TABLE, ServeConfig(residency="lru"))
+    oracle = simulate(trace, TABLE, ServeConfig(residency="oracle"))
+    assert oracle.busy_ps < lru.busy_ps
+    lru_report = ServeReport.from_outcome(lru)
+    oracle_report = ServeReport.from_outcome(oracle)
+    assert oracle_report.software_share < lru_report.software_share
+
+
+def test_priority_queue_favours_high_priority():
+    trace = trace_for(10_000)
+    outcome = simulate(trace, TABLE, ServeConfig(queue="priority"))
+    pr = trace["priority"]
+    hi = outcome.latency_ps[pr == pr.max()].mean()
+    lo = outcome.latency_ps[pr == pr.min()].mean()
+    assert hi < lo
+
+
+def test_segment_arrays_cover_every_request():
+    trace = trace_for(3_000)
+    outcome = simulate(trace, TABLE, ServeConfig())
+    assert int(outcome.seg_len.sum()) == 3_000
+    assert outcome.seg_kernel.size == outcome.seg_decision.size
+    assert outcome.seg_overhead_ps.size == outcome.seg_len.size
+
+
+# -- validation ---------------------------------------------------------------
+
+def test_bad_queue_policy_rejected():
+    with pytest.raises(ServeError):
+        ServeConfig(queue="sjf")
+
+
+def test_bad_residency_policy_rejected():
+    with pytest.raises(ServeError):
+        ServeConfig(residency="random")
+
+
+def test_bad_epoch_rejected():
+    with pytest.raises(ServeError):
+        ServeConfig(epoch_ps=0)
+
+
+def test_bad_region_cols_rejected():
+    with pytest.raises(ServeError):
+        ServeConfig(region_cols=-3)
+
+
+def test_size_class_out_of_table_range_rejected():
+    trace = make_trace("poisson", 100, 1_000_000, seed=1, size_classes=9)
+    with pytest.raises(ServeError):
+        simulate(trace, TABLE, ServeConfig())

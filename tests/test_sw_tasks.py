@@ -137,3 +137,47 @@ def test_invalid_parameters_rejected():
         SwBrightness(999)
     with pytest.raises(Exception):
         SwFade(2.0)
+
+
+# -- cost-model count validation ---------------------------------------------
+
+def test_costmodel_negative_counts_raise(system64):
+    from repro.errors import TransferError
+    from repro.sw.costmodel import (
+        charge_byte_reads,
+        charge_byte_writes,
+        charge_repeated_word_reads,
+        charge_word_reads,
+        charge_word_writes,
+    )
+
+    base = system64.ext_mem_base
+    with pytest.raises(TransferError):
+        charge_word_reads(system64, base, -1)
+    with pytest.raises(TransferError):
+        charge_word_writes(system64, base, -1)
+    with pytest.raises(TransferError):
+        charge_byte_reads(system64, base, -1)
+    with pytest.raises(TransferError):
+        charge_byte_writes(system64, base, -8)
+    with pytest.raises(TransferError):
+        charge_repeated_word_reads(system64, base, -4, 16)
+    with pytest.raises(TransferError):
+        charge_repeated_word_reads(system64, base, 64, -1)
+
+
+def test_costmodel_zero_counts_are_free_noops(system64):
+    from repro.sw.costmodel import (
+        charge_byte_reads,
+        charge_byte_writes,
+        charge_word_reads,
+        charge_word_writes,
+    )
+
+    before = system64.cpu.now_ps
+    base = system64.ext_mem_base
+    charge_word_reads(system64, base, 0)
+    charge_word_writes(system64, base, 0)
+    charge_byte_reads(system64, base, 0)
+    charge_byte_writes(system64, base, 0)
+    assert system64.cpu.now_ps == before
