@@ -20,10 +20,22 @@ from .lower_bound import (
     hardware_lower_bound_ps,
     measure_transfer_costs,
 )
+from .stats import (
+    QUANTILES,
+    percentiles_ps,
+    quantile_ps,
+    wilson_half_width,
+    wilson_interval,
+)
 from .utilization import BusUtilization, UtilizationReport, profile_run
 
 __all__ = [
     "Assessment",
+    "QUANTILES",
+    "percentiles_ps",
+    "quantile_ps",
+    "wilson_half_width",
+    "wilson_interval",
     "BusUtilization",
     "Episode",
     "EpisodePlanner",

@@ -12,6 +12,7 @@ writing a script::
     python -m repro check                   # DRC + self-lint (docs/CHECKS.md)
     python -m repro sweep run --jobs 4      # parallel scenario sweep (docs/SWEEP.md)
     python -m repro serve --requests 100000 # multi-tenant scheduler (docs/SERVE.md)
+    python -m repro faults --trials 100000  # Monte-Carlo campaign (docs/FAULTS.md)
 
 ``demo`` and ``transfers`` run the cheap system DRC before simulating
 (disable with ``--no-drc``); a configuration that fails design rules dies
@@ -25,6 +26,7 @@ import sys
 from typing import List, Optional
 
 from .checks import cli as checks_cli
+from .faults import cli as faults_cli
 from .serve import cli as serve_cli
 from .sweep import cli as sweep_cli
 from .core import (
@@ -261,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cli.add_arguments(p_serve)
     p_serve.set_defaults(func=serve_cli.run)
+
+    p_faults = sub.add_parser(
+        "faults", help="Monte-Carlo fault campaign with Wilson CIs (docs/FAULTS.md)"
+    )
+    faults_cli.add_arguments(p_faults)
+    p_faults.set_defaults(func=faults_cli.run)
 
     p_assess = sub.add_parser(
         "assess", help="lower-bound feasibility check for a hardware candidate"

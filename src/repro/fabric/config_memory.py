@@ -193,11 +193,33 @@ class ConfigMemory:
         explicitly."""
         return self._data[rows]
 
+    def flip_bit(self, row: int, word: int, bit: int) -> FrameAddress:
+        """Flip one configuration bit by dense-row coordinates (fault
+        injection only).
+
+        Like :meth:`inject_upset` this models radiation, not a bus
+        access: counters stay untouched, no timing is charged, and the
+        frame's *written* flag is deliberately left alone — a strike on a
+        never-configured frame must not promote it into the written set,
+        or scrubbing would start "repairing" frames the design never
+        owned.  Returns the struck frame's address.
+        """
+        total, words = self._data.shape
+        if not 0 <= int(row) < total:
+            raise BitstreamError(f"flip_bit: row {row} outside 0..{total - 1}")
+        if not (0 <= int(word) < words and 0 <= int(bit) < 32):
+            raise BitstreamError(
+                f"flip_bit: word {word} bit {bit} outside frame geometry"
+            )
+        self._data[int(row), int(word)] ^= np.uint32(1 << int(bit))
+        return self.geometry.frame_order()[int(row)]
+
     def inject_upset(
         self,
         rng: np.random.Generator,
         flips: int = 1,
         addresses: Sequence[FrameAddress] = None,
+        include_unwritten: bool = False,
     ) -> List[Tuple[FrameAddress, int, int]]:
         """Flip random bits in written frames (fault injection only).
 
@@ -205,18 +227,26 @@ class ConfigMemory:
         counters do *not* advance and no timing is charged.  ``addresses``
         restricts the strike to specific frames (e.g. the frames a commit
         just wrote); by default any written catalogued frame is fair game.
+        ``include_unwritten=True`` widens the target set to the *whole*
+        frame catalogue — the Monte-Carlo campaigns sample the full
+        configuration space, where strikes on never-written frames are
+        benign by construction.  Written flags are never changed.
         Returns ``(address, word_index, bit)`` per flip; empty when the
         memory holds nothing to corrupt.
         """
         order = self.geometry.frame_order()
         if addresses is None:
-            rows = np.flatnonzero(self._written)
+            if include_unwritten:
+                rows = np.arange(self._written.size, dtype=np.int64)
+            else:
+                rows = np.flatnonzero(self._written)
         else:
             rows = np.array(
                 [
                     row
                     for row in (self.geometry.frame_index(a) for a in addresses)
-                    if row is not None and self._written[row]
+                    if row is not None
+                    and (include_unwritten or self._written[row])
                 ],
                 dtype=np.int64,
             )

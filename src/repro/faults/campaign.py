@@ -48,6 +48,9 @@ class TrialResult:
     faults_delivered: int
     elapsed_ps: int
     detail: str = ""
+    #: Monte-Carlo outcome class (``repro.faults.montecarlo.OUTCOMES``);
+    #: empty for the PR 5 per-trial simulator campaign.
+    outcome: str = ""
 
 
 @dataclass

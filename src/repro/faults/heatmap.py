@@ -1,0 +1,112 @@
+"""ASCII vulnerability heatmaps over the device's frame plane.
+
+Renders a :class:`~repro.faults.sampling.FaultSpace`'s per-frame
+vulnerability — analytic (essential bits per frame) or empirical
+(critical strikes per sampled strike from a campaign) — as a
+column-major character grid: one character per configuration frame,
+CLB columns across the page, frame minors down it, with the BRAM
+interconnect/content planes below and the dynamic region's column span
+marked.  Text only (the toolchain has no plotting dependency); sweep
+``--tables`` and the CI artifact upload carry it as-is.
+
+Reading the map: darker characters are more vulnerable frames.  The
+dynamic region's columns stand out because every bit in the region's
+row span is essential while it hosts a kernel — the paper's point that
+a partially reconfigurable design concentrates criticality in the
+reconfigurable area, which is exactly where scrubbing and verify scans
+focus.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import InvariantError
+from ..fabric.frames import BlockType
+from .sampling import REGION_DYNAMIC, FaultSpace
+
+#: Intensity ramp, index = floor(value * (len - 1) + 0.5) over [0, 1].
+RAMP = " .:-=+*#%@"
+
+#: Placeholder for frames without any sampled strike (empirical maps).
+UNSAMPLED = "·"
+
+
+def _cell(value: float) -> str:
+    if value < 0.0:
+        return UNSAMPLED
+    clamped = min(1.0, max(0.0, value))
+    return RAMP[int(clamped * (len(RAMP) - 1) + 0.5)]
+
+
+def empirical_vulnerability(
+    space: FaultSpace, strikes: np.ndarray, criticals: np.ndarray
+) -> np.ndarray:
+    """Per-frame critical fraction; ``-1`` marks unsampled frames."""
+    values = np.full(space.total_frames, -1.0)
+    sampled = strikes > 0
+    values[sampled] = criticals[sampled] / strikes[sampled]
+    return values
+
+
+def render_heatmap(
+    space: FaultSpace,
+    values: Optional[np.ndarray] = None,
+    title: str = "per-frame vulnerability (analytic)",
+) -> str:
+    """Render per-frame values in [0, 1] (or -1 = unsampled) as text."""
+    if values is None:
+        values = space.frame_vulnerability()
+    values = np.asarray(values, dtype=float)
+    if values.shape != (space.total_frames,):
+        raise InvariantError(
+            f"heatmap needs one value per frame "
+            f"({space.total_frames}), got shape {values.shape}"
+        )
+    if space.frame_blocks is None:
+        raise InvariantError("fault space carries no frame layout")
+
+    lines: List[str] = [f"vulnerability heatmap — {title}", ""]
+    dynamic = space.region_class == REGION_DYNAMIC
+
+    for block, label in (
+        (BlockType.CLB, "CLB frames (columns ×, minors ↓)"),
+        (BlockType.BRAM_INTERCONNECT, "BRAM interconnect frames"),
+        (BlockType.BRAM_CONTENT, "BRAM content frames"),
+    ):
+        mask = space.frame_blocks == int(block)
+        if not np.any(mask):
+            continue
+        cols = space.frame_cols[mask]
+        minors = space.frame_minors[mask]
+        block_values = values[mask]
+        block_dynamic = dynamic[mask]
+        width = int(cols.max()) + 1
+        height = int(minors.max()) + 1
+        grid = np.full((height, width), -1.0)
+        grid[minors, cols] = block_values
+        lines.append(f"{label}:")
+        for minor in range(height):
+            row = "".join(_cell(grid[minor, col]) for col in range(width))
+            lines.append(f"  {minor:3d} {row}")
+        span = np.zeros(width, dtype=bool)
+        span[cols[block_dynamic]] = True
+        if np.any(span):
+            marks = "".join("^" if flag else " " for flag in span)
+            lines.append(f"      {marks} dynamic region columns")
+        lines.append("")
+
+    sampled = values >= 0.0
+    lines.append(
+        f"scale: '{RAMP[0]}'=0.0 … '{RAMP[-1]}'=1.0"
+        + (f", '{UNSAMPLED}'=unsampled" if not np.all(sampled) else "")
+    )
+    if np.any(sampled):
+        lines.append(
+            f"frames: {space.total_frames}, mean {values[sampled].mean():.4f}, "
+            f"max {values[sampled].max():.4f} over "
+            f"{int(np.count_nonzero(sampled))} frame(s)"
+        )
+    return "\n".join(lines)

@@ -14,27 +14,16 @@ exactly (the equivalence tests compare ``to_dict()``).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
 import numpy as np
 
-from ..errors import InvariantError
+from ..analysis.stats import QUANTILES, quantile_ps
 from .decisions import DECISION_RECONFIG, DECISION_RESIDENT, DECISION_SOFTWARE
 from .engine import ServeOutcome
 
-#: Latency quantiles every report carries.
-QUANTILES = (0.5, 0.99, 0.999)
-
-
-def quantile_ps(sorted_latency_ps: np.ndarray, q: float) -> int:
-    """Deterministic integer quantile: the ``ceil(q*n)``-th order statistic."""
-    n = int(sorted_latency_ps.size)
-    if n == 0:
-        raise InvariantError("quantile of an empty latency array")
-    index = min(n - 1, max(0, math.ceil(q * n) - 1))
-    return int(sorted_latency_ps[index])
+__all__ = ["QUANTILES", "ServeReport", "amortization_curve", "quantile_ps"]
 
 
 @dataclass

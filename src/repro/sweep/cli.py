@@ -60,11 +60,42 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed-base", type=int, default=None, metavar="N",
                         help="derive per-scenario workload seeds from N "
                         "(default: the paper's seeds)")
+    parser.add_argument("--set", dest="overrides", action="append", default=None,
+                        metavar="NAME:KEY=VALUE",
+                        help="override one scenario parameter (repeatable); "
+                        "VALUE is parsed as JSON, falling back to a string "
+                        "(e.g. --set mc_campaign:trials=5000)")
     parser.add_argument("--explain", action="store_true",
                         help="attribute every cache miss to the key "
                         "component(s) that changed vs the stored entries")
     parser.add_argument("--list", dest="list_only", action="store_true",
                         help="list matching scenarios instead of running")
+
+
+def parse_overrides(entries: Optional[List[str]]) -> Optional[dict]:
+    """``NAME:KEY=VALUE`` strings -> ``{name: {key: value}}``.
+
+    Values parse as JSON first (``5000`` -> int, ``true`` -> bool,
+    ``"seu,commit"`` needs no quoting — the fallback keeps it a string).
+    """
+    if not entries:
+        return None
+    import json
+
+    overrides: dict = {}
+    for raw in entries:
+        head, sep, value = raw.partition("=")
+        name, colon, key = head.partition(":")
+        if not sep or not colon or not name or not key:
+            raise SystemExit(
+                f"--set expects NAME:KEY=VALUE, got {raw!r}"
+            )
+        try:
+            parsed = json.loads(value)
+        except ValueError:
+            parsed = value
+        overrides.setdefault(name, {})[key] = parsed
+    return overrides
 
 
 def _select(args: argparse.Namespace):
@@ -87,6 +118,7 @@ def _select(args: argparse.Namespace):
 
 def run(args: argparse.Namespace) -> int:
     action, selected = _select(args)
+    overrides = parse_overrides(getattr(args, "overrides", None))
 
     if action == "list":
         if args.json:
@@ -131,8 +163,11 @@ def run(args: argparse.Namespace) -> int:
     explanations = {}
     if args.explain and cache is not None:
         for entry in selected:
+            per_scenario = overrides.get(entry.name) if overrides else None
             params = apply_seed_base(
-                entry.name, entry.resolve_params(smoke=args.smoke), args.seed_base
+                entry.name,
+                entry.resolve_params(per_scenario, smoke=args.smoke),
+                args.seed_base,
             )
             explanations[entry.name] = cache.explain(entry, params)
 
@@ -155,6 +190,7 @@ def run(args: argparse.Namespace) -> int:
         seed_base=args.seed_base,
         progress=progress,
         rig_cache_dir=rig_cache_dir,
+        overrides=overrides,
     )
 
     if args.tables:

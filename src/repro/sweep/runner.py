@@ -164,10 +164,12 @@ def _resolve(
     scenarios: Sequence[Scenario],
     smoke: bool,
     seed_base: Optional[int],
+    overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> List[Tuple[Scenario, Dict[str, object]]]:
     jobs = []
     for entry in scenarios:
-        params = entry.resolve_params(smoke=smoke)
+        per_scenario = overrides.get(entry.name) if overrides else None
+        params = entry.resolve_params(per_scenario, smoke=smoke)
         jobs.append((entry, apply_seed_base(entry.name, params, seed_base)))
     return jobs
 
@@ -182,6 +184,7 @@ def run_sweep(
     seed_base: Optional[int] = None,
     progress: Optional[Callable[[ScenarioOutcome], None]] = None,
     rig_cache_dir: Optional[str] = None,
+    overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> SweepOutcome:
     """Run ``scenarios`` with up to ``jobs`` worker processes.
 
@@ -190,11 +193,14 @@ def run_sweep(
     called once per finished scenario, in completion order.
     ``rig_cache_dir`` (if given) shares memoized rig configurations across
     worker processes and sweep invocations via :mod:`repro.sweep.rigcache`.
+    ``overrides`` maps scenario name -> parameter overrides (the CLI's
+    ``--set NAME:KEY=VALUE``); overridden parameters feed the cache key
+    like any other, so overridden runs never collide with defaults.
     """
     started = _now()
     rig_fence = _rig_dependency_fence() if rig_cache_dir is not None else None
     _install_rig_cache(rig_cache_dir, rig_fence)
-    work = _resolve(scenarios, smoke, seed_base)
+    work = _resolve(scenarios, smoke, seed_base, overrides)
     outcomes: Dict[str, ScenarioOutcome] = {}
     pool_broken = False
 

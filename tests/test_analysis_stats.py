@@ -1,0 +1,119 @@
+"""Tests for the shared estimators (repro.analysis.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    QUANTILES,
+    Z_95,
+    percentiles_ps,
+    quantile_ps,
+    wilson_half_width,
+    wilson_interval,
+)
+from repro.errors import InvariantError
+
+
+# -- quantile_ps / percentiles_ps --------------------------------------------
+
+def test_quantile_is_exact_order_statistic():
+    values = np.arange(1, 101, dtype=np.int64)  # 1..100, sorted
+    assert quantile_ps(values, 0.5) == 50
+    assert quantile_ps(values, 0.99) == 99
+    assert quantile_ps(values, 0.999) == 100
+    assert quantile_ps(values, 1.0) == 100
+
+
+def test_quantile_single_element_and_clamping():
+    one = np.array([42], dtype=np.int64)
+    for q in QUANTILES:
+        assert quantile_ps(one, q) == 42
+
+
+def test_quantile_of_empty_rejected():
+    with pytest.raises(InvariantError):
+        quantile_ps(np.array([], dtype=np.int64), 0.5)
+
+
+def test_quantile_stays_integer():
+    # Order statistics never interpolate: picosecond inputs stay exact.
+    values = np.array([1, 2], dtype=np.int64)
+    assert quantile_ps(values, 0.5) == 1
+    assert isinstance(quantile_ps(values, 0.5), int)
+
+
+def test_percentiles_sorts_and_matches_quantiles():
+    rng = np.random.default_rng(7)
+    values = rng.integers(0, 10**12, size=1000)
+    out = percentiles_ps(values)
+    assert set(out) == {"p50_ps", "p99_ps", "p999_ps"}
+    ordered = np.sort(values)
+    assert out["p50_ps"] == quantile_ps(ordered, 0.5)
+    assert out["p99_ps"] == quantile_ps(ordered, 0.99)
+    assert out["p999_ps"] == quantile_ps(ordered, 0.999)
+    assert out["p50_ps"] <= out["p99_ps"] <= out["p999_ps"]
+
+
+# -- wilson_interval ----------------------------------------------------------
+
+def test_wilson_known_value():
+    lo, hi = wilson_interval(8, 10)
+    assert lo == pytest.approx(0.4901624715366418)
+    assert hi == pytest.approx(0.9433178485456248)
+
+
+def test_wilson_boundaries_are_exact():
+    # Zero successes pin the lower bound at 0; all successes pin the
+    # upper bound at 1 — but the other end stays strictly informative.
+    lo, hi = wilson_interval(0, 20)
+    assert lo == 0.0 and 0.0 < hi < 1.0
+    lo, hi = wilson_interval(20, 20)
+    assert hi == 1.0 and 0.0 < lo < 1.0
+
+
+def test_wilson_zero_trials_is_vacuous():
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+    assert wilson_half_width(0, 0) == 0.5
+
+
+def test_wilson_symmetric_at_half():
+    lo, hi = wilson_interval(50, 100)
+    assert lo + hi == pytest.approx(1.0)
+    assert lo == pytest.approx(0.4038315303659956)
+
+
+def test_wilson_contains_point_estimate_and_tightens():
+    for successes, trials in [(1, 10), (5, 50), (499, 1000)]:
+        lo, hi = wilson_interval(successes, trials)
+        assert lo <= successes / trials <= hi
+    assert wilson_half_width(500, 1000) < wilson_half_width(50, 100)
+    assert wilson_half_width(50, 100) == pytest.approx(0.09616846963400438)
+
+
+def test_wilson_invalid_counts_rejected():
+    with pytest.raises(InvariantError):
+        wilson_interval(-1, 10)
+    with pytest.raises(InvariantError):
+        wilson_interval(11, 10)
+    with pytest.raises(InvariantError):
+        wilson_interval(0, -1)
+
+
+def test_wilson_z_parameter_widens_with_confidence():
+    narrow = wilson_interval(30, 100, z=1.0)
+    wide = wilson_interval(30, 100, z=Z_95)
+    assert wide[0] < narrow[0] < narrow[1] < wide[1]
+
+
+# -- serve compatibility ------------------------------------------------------
+
+def test_serve_report_reexports_shared_quantiles():
+    # The serve scheduler's report moved its percentile math here; the
+    # historical import surface must keep working and agree exactly.
+    from repro.serve.report import QUANTILES as SERVE_QUANTILES
+    from repro.serve.report import quantile_ps as serve_quantile_ps
+
+    assert SERVE_QUANTILES == QUANTILES
+    values = np.sort(np.random.default_rng(3).integers(0, 10**9, size=257))
+    for q in QUANTILES:
+        assert serve_quantile_ps(values, q) == quantile_ps(values, q)

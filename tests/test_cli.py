@@ -109,3 +109,38 @@ def test_assess_both_methods_on_64(capsys):
     out = capsys.readouterr().out
     assert "via pio" in out
     assert "via dma" in out
+
+
+def test_faults_table_with_equivalence_and_heatmap(capsys):
+    assert main(
+        [
+            "faults",
+            "--trials", "64",
+            "--executor", "both",
+            "--heatmap",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Monte-Carlo fault campaign" in out
+    assert "(equivalence-checked)" in out
+    assert "wilson 95% CI" in out
+    assert "vulnerability heatmap" in out
+    for kind in ("upset", "post-commit", "seu", "commit"):
+        assert kind in out
+
+
+def test_faults_json_report(capsys):
+    import json
+
+    assert main(
+        ["faults", "--trials", "32", "--kinds", "commit", "--json"]
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "repro-mc-campaign/1"
+    assert report["kinds"] == ["commit"]
+    assert report["total_trials"] == 32
+
+
+def test_faults_rejects_empty_kinds(capsys):
+    assert main(["faults", "--kinds", " , "]) == 2
+    assert "no fault kinds" in capsys.readouterr().err

@@ -110,3 +110,115 @@ def test_written_addresses_sorted(mem):
     mem.write_frame(addr(3), frame_of(mem, 1))
     mem.write_frame(addr(1), frame_of(mem, 1))
     assert list(mem.written_addresses()) == [addr(1), addr(3)]
+
+
+# -- flip_bit (targeted fault injection) --------------------------------------
+
+def test_flip_bit_flips_and_returns_address(mem):
+    mem.write_frame(addr(), frame_of(mem, 0))
+    struck = mem.flip_bit(mem.geometry.frame_index(addr()), 2, 7)
+    assert struck == addr()
+    assert mem.read_frame(addr())[2] == 1 << 7
+
+
+def test_flip_bit_twice_restores(mem):
+    data = frame_of(mem, 0xDEADBEEF)
+    mem.write_frame(addr(), data)
+    row = mem.geometry.frame_index(addr())
+    mem.flip_bit(row, 5, 31)
+    assert not np.array_equal(mem.read_frame(addr()), data)
+    mem.flip_bit(row, 5, 31)
+    assert np.array_equal(mem.read_frame(addr()), data)
+
+
+def test_flip_bit_is_counter_silent(mem):
+    # Radiation is not a bus access: neither counter may advance.
+    mem.write_frame(addr(), frame_of(mem, 1))
+    writes, reads = mem.writes, mem.reads
+    mem.flip_bit(mem.geometry.frame_index(addr()), 0, 0)
+    assert (mem.writes, mem.reads) == (writes, reads)
+
+
+def test_flip_bit_never_promotes_unwritten_frames(mem):
+    # A strike on a never-configured frame must stay outside the written
+    # set, or scrubbing would start "repairing" frames nobody owns.
+    row = int(np.flatnonzero(~mem.written_mask())[0])
+    mem.flip_bit(row, 0, 3)
+    assert not mem.written_mask()[row]
+    assert mem.flip_bit(row, 0, 3) is not None  # flip back, still silent
+    assert len(mem) == 0
+
+
+def test_flip_bit_bounds_checked(mem):
+    total = mem.device.total_frames
+    words = mem.geometry.words_per_frame
+    with pytest.raises(BitstreamError):
+        mem.flip_bit(total, 0, 0)
+    with pytest.raises(BitstreamError):
+        mem.flip_bit(-1, 0, 0)
+    with pytest.raises(BitstreamError):
+        mem.flip_bit(0, words, 0)
+    with pytest.raises(BitstreamError):
+        mem.flip_bit(0, 0, 32)
+
+
+# -- inject_upset -------------------------------------------------------------
+
+def _rng(seed=9):
+    return np.random.default_rng(seed)
+
+
+def test_inject_upset_empty_memory_has_no_targets(mem):
+    assert mem.inject_upset(_rng()) == []
+
+
+def test_inject_upset_hits_only_written_frames_by_default(mem):
+    mem.write_frame(addr(1), frame_of(mem, 0))
+    flips = mem.inject_upset(_rng(), flips=16)
+    assert len(flips) == 16
+    assert {address for address, _, _ in flips} == {addr(1)}
+
+
+def test_inject_upset_include_unwritten_widens_to_whole_catalogue(mem):
+    # The Monte-Carlo campaigns sample the full configuration space:
+    # even a completely blank memory yields strikes, and strikes on
+    # never-written frames stay benign (no written-flag promotion).
+    flips = mem.inject_upset(_rng(), flips=64, include_unwritten=True)
+    assert len(flips) == 64
+    assert not mem.written_mask().any()
+    assert len(mem) == 0
+    rows = {mem.geometry.frame_index(address) for address, _, _ in flips}
+    assert len(rows) > 1  # spread over the catalogue, not one frame
+
+
+def test_inject_upset_is_counter_silent(mem):
+    mem.write_frame(addr(), frame_of(mem, 7))
+    writes, reads = mem.writes, mem.reads
+    mem.inject_upset(_rng(), flips=8, include_unwritten=True)
+    assert (mem.writes, mem.reads) == (writes, reads)
+
+
+def test_inject_upset_respects_address_restriction(mem):
+    mem.write_frame(addr(0), frame_of(mem, 1))
+    mem.write_frame(addr(2), frame_of(mem, 1))
+    flips = mem.inject_upset(_rng(), flips=12, addresses=[addr(2)])
+    assert {address for address, _, _ in flips} == {addr(2)}
+
+
+def test_inject_upset_address_restriction_skips_unwritten_unless_asked(mem):
+    mem.write_frame(addr(0), frame_of(mem, 1))
+    assert mem.inject_upset(_rng(), flips=4, addresses=[addr(3)]) == []
+    flips = mem.inject_upset(
+        _rng(), flips=4, addresses=[addr(3)], include_unwritten=True
+    )
+    assert {address for address, _, _ in flips} == {addr(3)}
+    assert not mem.written_mask()[mem.geometry.frame_index(addr(3))]
+
+
+def test_inject_upset_actually_corrupts_and_is_seeded(mem):
+    mem.write_frame(addr(), frame_of(mem, 0))
+    [(address, word, bit)] = mem.inject_upset(_rng(21), flips=1)
+    assert mem.read_frame(address)[word] == np.uint32(1 << bit)
+    fresh = ConfigMemory(XC2VP4)
+    fresh.write_frame(addr(), frame_of(mem, 0))
+    assert fresh.inject_upset(_rng(21), flips=1) == [(address, word, bit)]

@@ -54,3 +54,50 @@ def test_fault_scenarios_are_registered_with_tags():
         entry = get_scenario(name)
         assert "faults" in entry.tags
         assert "reconfig" in entry.tags
+
+
+# -- Monte-Carlo scenarios ----------------------------------------------------
+
+def test_mc_campaign_smoke_headline_and_gate():
+    result = run_scenario("mc_campaign", smoke=True)
+    assert result.name == "mc_campaign"
+    headline = result.headline
+    # Smoke: 200 trials per kind, all four kinds, equivalence enforced
+    # in-scenario (a divergence would have raised, failing the run).
+    assert headline["trials_total"] == 200 * headline["kinds"]
+    assert headline["equivalence_checked"] is True
+    lo, hi = headline["vulnerability_ci95"]
+    assert lo <= headline["vulnerability"] <= hi
+    assert 0.0 < headline["analytic_vulnerability"] < 1.0
+    for kind in ("upset", "post-commit", "seu", "commit"):
+        assert 0.0 <= headline[f"{kind}_recovery_rate"] <= 1.0
+    assert headline["upset_recovery_rate"] == 1.0
+
+
+def test_mc_campaign_is_deterministic():
+    one = run_scenario("mc_campaign", smoke=True)
+    two = run_scenario("mc_campaign", smoke=True)
+    assert one.to_dict() == two.to_dict()
+
+
+def test_mc_campaign_kinds_param_restricts_the_run():
+    result = run_scenario(
+        "mc_campaign", {"kinds": "commit", "trials": 64}, smoke=True
+    )
+    assert result.headline["kinds"] == 1
+    assert result.headline["trials_total"] == 64
+    assert "vulnerability" not in result.headline  # no upset stratum ran
+    assert {row[0] for row in result.rows} == {"commit"}
+
+
+def test_mc_vulnerability_smoke_covers_analytic_truth():
+    result = run_scenario("mc_vulnerability", smoke=True)
+    headline = result.headline
+    lo, hi = headline["vulnerability_ci95"]
+    # The scenario gates on this internally; assert it at the seam too.
+    assert lo <= headline["analytic_vulnerability"] <= hi
+    assert headline["essential_bits"] < headline["total_bits"]
+    # Empirical heatmap rides as the figure text, analytic as appendix.
+    assert "empirical" in result.text
+    assert "analytic" in result.appendix
+    assert "dynamic region columns" in result.appendix

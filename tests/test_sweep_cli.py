@@ -119,3 +119,71 @@ def test_explain_attributes_misses_then_reports_hits(tmp_path, capsys):
     assert main(argv) == 0
     warm = capsys.readouterr().out
     assert "every scenario hit the cache" in warm
+
+
+# -- per-scenario overrides (--set) -------------------------------------------
+
+def test_parse_overrides_types_and_grouping():
+    from repro.sweep.cli import parse_overrides
+
+    parsed = parse_overrides(
+        [
+            "mc_campaign:trials=5000",
+            "mc_campaign:check_equivalence=true",
+            "mc_campaign:kinds=upset,commit",
+            "fault_campaign:seed=7",
+        ]
+    )
+    assert parsed == {
+        "mc_campaign": {
+            "trials": 5000,  # JSON int
+            "check_equivalence": True,  # JSON bool
+            "kinds": "upset,commit",  # JSON-invalid -> kept as string
+        },
+        "fault_campaign": {"seed": 7},
+    }
+    assert parse_overrides(None) is None
+    assert parse_overrides([]) is None
+
+
+@pytest.mark.parametrize(
+    "bad", ["mc_campaign:trials", "trials=5", ":trials=5", "name:=5"]
+)
+def test_parse_overrides_rejects_malformed_entries(bad):
+    from repro.sweep.cli import parse_overrides
+
+    with pytest.raises(SystemExit, match="--set"):
+        parse_overrides([bad])
+
+
+def test_set_flag_overrides_scenario_params(tmp_path, capsys):
+    from repro.scenarios import ScenarioResult
+    from repro.scenarios.registry import _REGISTRY, register_scenario
+
+    register_scenario(
+        "scratch_cli_set",
+        lambda n: ScenarioResult(
+            name="scratch_cli_set", headers=["n"], rows=[[n]],
+            headline={"n": n},
+        ),
+        params={"n": 1},
+    )
+    try:
+        out = tmp_path / "BENCH_sweep.json"
+        code = main(
+            [
+                "scratch_cli_set",
+                "--jobs", "1",
+                "--set", "scratch_cli_set:n=42",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(out),
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text(encoding="utf-8"))
+        [entry] = report["scenarios"]
+        assert entry["headline"]["n"] == 42
+        capsys.readouterr()
+    finally:
+        _REGISTRY.pop("scratch_cli_set", None)

@@ -157,3 +157,61 @@ def test_apply_seed_base_rewrites_only_seed_params():
     assert derived == apply_seed_base("s", params, 42)
     # Distinct per scenario name.
     assert derived["seed"] != apply_seed_base("other", params, 42)["seed"]
+
+
+# -- per-scenario parameter overrides (--set) ---------------------------------
+
+def test_overrides_reach_the_scenario_and_compose_with_smoke(scratch):
+    scratch(
+        "scratch_tuned",
+        lambda n, m: ScenarioResult(
+            name="scratch_tuned", headers=["n", "m"], rows=[[n, m]]
+        ),
+        params={"n": 100, "m": 7},
+        smoke_params={"n": 2},
+    )
+    entry = get_scenario("scratch_tuned")
+    outcome = run_sweep(
+        [entry], jobs=1, smoke=True, overrides={"scratch_tuned": {"m": 99}}
+    )
+    # Smoke reduces n, the override pins m — they compose, override last.
+    assert outcome.outcomes[0].result.rows == [[2, 99]]
+    overridden = run_sweep(
+        [entry], jobs=1, smoke=True,
+        overrides={"scratch_tuned": {"n": 5, "m": 99}},
+    )
+    assert overridden.outcomes[0].result.rows == [[5, 99]]
+
+
+def test_overridden_params_feed_the_cache_key(tmp_path, scratch):
+    scratch(
+        "scratch_keyed",
+        lambda n: ScenarioResult(name="scratch_keyed", headers=["n"], rows=[[n]]),
+        params={"n": 1},
+    )
+    entry = get_scenario("scratch_keyed")
+    cache = ResultCache(tmp_path)
+    default = run_sweep([entry], jobs=1, cache=cache)
+    tuned = run_sweep([entry], jobs=1, cache=cache, overrides={"scratch_keyed": {"n": 3}})
+    # A different parameter value is a different key: no collision...
+    assert default.outcomes[0].cache == "miss"
+    assert tuned.outcomes[0].cache == "miss"
+    assert tuned.outcomes[0].result.rows == [[3]]
+    # ...and re-running either configuration hits its own entry.
+    again = run_sweep([entry], jobs=1, cache=cache, overrides={"scratch_keyed": {"n": 3}})
+    assert again.outcomes[0].cache == "hit"
+    assert again.outcomes[0].result.rows == [[3]]
+
+
+def test_unknown_override_parameter_fails_the_scenario(scratch):
+    scratch(
+        "scratch_strict",
+        lambda n: ScenarioResult(name="scratch_strict", headers=["n"], rows=[[n]]),
+        params={"n": 1},
+    )
+    with pytest.raises(Exception, match="no parameter"):
+        run_sweep(
+            [get_scenario("scratch_strict")],
+            jobs=1,
+            overrides={"scratch_strict": {"typo": 5}},
+        )
