@@ -38,7 +38,7 @@ from .core import (
 from .errors import ReproError
 from .sw.costmodel import RunResult
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "OverlapResult",

@@ -1,0 +1,240 @@
+"""Multi-objective decision support: Pareto fronts and regression slopes.
+
+The design-space explorer (:mod:`repro.dse`) scores every candidate
+platform on several objectives at once — throughput (maximize),
+reconfiguration overhead (minimize), recovery rate (maximize) — and no
+scalar weighting of those is defensible a priori.  The standard answer
+is the **Pareto front**: the set of candidates not dominated by any
+other candidate, i.e. the configurations for which every improvement on
+one objective costs something on another.
+
+This module is pure math over plain sequences (DAVOS keeps the same
+split in ``DecisionSupport/Pareto``): fast non-dominated sorting
+(NSGA-II style rank + crowding distance), per-axis least-squares
+regression slopes for "which knob moves which objective", and an ASCII
+rendering of a 2-D projection of the front.  Everything is deterministic
+— ties break on index — so a front computed from cached evaluations is
+byte-identical to one computed from fresh runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import InvariantError
+
+#: Objective senses.
+MAXIMIZE = "max"
+MINIMIZE = "min"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scored dimension of a candidate: a name and a sense."""
+
+    name: str
+    sense: str = MAXIMIZE
+    #: Unit label for rendering only (never affects the math).
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in (MAXIMIZE, MINIMIZE):
+            raise InvariantError(
+                f"objective {self.name!r}: sense must be "
+                f"{MAXIMIZE!r} or {MINIMIZE!r}, got {self.sense!r}"
+            )
+
+
+def _oriented(row: Sequence[float], objectives: Sequence[Objective]) -> Tuple[float, ...]:
+    """Flip minimized objectives so that larger is always better."""
+    if len(row) != len(objectives):
+        raise InvariantError(
+            f"candidate has {len(row)} objective value(s), expected {len(objectives)}"
+        )
+    return tuple(
+        float(v) if o.sense == MAXIMIZE else -float(v) for v, o in zip(row, objectives)
+    )
+
+
+def dominates(
+    a: Sequence[float], b: Sequence[float], objectives: Sequence[Objective]
+) -> bool:
+    """True iff ``a`` is at least as good as ``b`` everywhere and strictly
+    better somewhere (after orienting every objective to "larger wins")."""
+    oa = _oriented(a, objectives)
+    ob = _oriented(b, objectives)
+    return all(x >= y for x, y in zip(oa, ob)) and any(x > y for x, y in zip(oa, ob))
+
+
+def non_dominated_sort(
+    rows: Sequence[Sequence[float]], objectives: Sequence[Objective]
+) -> List[List[int]]:
+    """Partition candidate indices into Pareto fronts (front 0 = best).
+
+    The classic fast non-dominated sort: every candidate records whom it
+    dominates and by how many it is dominated; candidates with zero
+    dominators form front 0, removing them exposes front 1, and so on.
+    Indices inside each front stay in ascending input order, which makes
+    the result (and everything derived from it) deterministic.
+    """
+    n = len(rows)
+    oriented = [_oriented(row, objectives) for row in rows]
+    dominated_by: List[int] = [0] * n
+    dominating: List[List[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = oriented[i], oriented[j]
+            if all(x >= y for x, y in zip(a, b)) and any(x > y for x, y in zip(a, b)):
+                dominating[i].append(j)
+                dominated_by[j] += 1
+            elif all(y >= x for x, y in zip(a, b)) and any(y > x for x, y in zip(a, b)):
+                dominating[j].append(i)
+                dominated_by[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if dominated_by[i] == 0]
+    while current:
+        fronts.append(current)
+        nxt: List[int] = []
+        for i in current:
+            for j in dominating[i]:
+                dominated_by[j] -= 1
+                if dominated_by[j] == 0:
+                    nxt.append(j)
+        current = sorted(nxt)
+    return fronts
+
+
+def pareto_front(
+    rows: Sequence[Sequence[float]], objectives: Sequence[Objective]
+) -> List[int]:
+    """Indices of the non-dominated candidates, ascending."""
+    if not rows:
+        return []
+    return non_dominated_sort(rows, objectives)[0]
+
+
+def crowding_distance(
+    rows: Sequence[Sequence[float]],
+    front: Sequence[int],
+    objectives: Sequence[Objective],
+) -> Dict[int, float]:
+    """NSGA-II crowding distance of each index within one front.
+
+    Boundary candidates of every objective get infinite distance, so
+    selection pressure keeps the extremes of the trade-off; interior
+    candidates score the normalized side lengths of their bounding box.
+    """
+    distance: Dict[int, float] = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    for axis, _ in enumerate(objectives):
+        ordered = sorted(front, key=lambda i: (float(rows[i][axis]), i))
+        lo = float(rows[ordered[0]][axis])
+        hi = float(rows[ordered[-1]][axis])
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        span = hi - lo
+        if span <= 0.0:
+            continue
+        for k in range(1, len(ordered) - 1):
+            gap = (float(rows[ordered[k + 1]][axis]) - float(rows[ordered[k - 1]][axis])) / span
+            if distance[ordered[k]] != float("inf"):
+                distance[ordered[k]] += gap
+    return distance
+
+
+def pareto_rank(
+    rows: Sequence[Sequence[float]], objectives: Sequence[Objective]
+) -> Tuple[List[int], List[float]]:
+    """Per-candidate ``(front rank, crowding distance)`` — the NSGA-II
+    fitness the evolutionary search tournaments on (lower rank wins; ties
+    prefer the larger distance)."""
+    ranks = [0] * len(rows)
+    crowd = [0.0] * len(rows)
+    for rank, front in enumerate(non_dominated_sort(rows, objectives)):
+        dist = crowding_distance(rows, front, objectives)
+        for index in front:
+            ranks[index] = rank
+            crowd[index] = dist[index]
+    return ranks, crowd
+
+
+def regression_slopes(
+    points: Sequence[Mapping[str, float]],
+    values: Sequence[float],
+) -> Dict[str, float]:
+    """Least-squares slope of one objective against each normalized axis.
+
+    Every axis is rescaled to [0, 1] over the range it actually covers in
+    ``points``, so slopes are comparable across axes with wildly different
+    units (picoseconds of bridge latency vs. FIFO words).  A slope of
+    ``s`` reads "moving this knob across its full sampled range moves the
+    objective by about ``s``, everything else averaged out".  Axes that
+    never vary report 0.0.
+    """
+    if len(points) != len(values):
+        raise InvariantError(
+            f"{len(points)} point(s) vs {len(values)} objective value(s)"
+        )
+    slopes: Dict[str, float] = {}
+    if not points:
+        return slopes
+    ys = [float(v) for v in values]
+    mean_y = sum(ys) / len(ys)
+    for axis in sorted(points[0]):
+        raw = [float(p[axis]) for p in points]
+        lo, hi = min(raw), max(raw)
+        if hi <= lo:
+            slopes[axis] = 0.0
+            continue
+        xs = [(v - lo) / (hi - lo) for v in raw]
+        mean_x = sum(xs) / len(xs)
+        var = sum((x - mean_x) ** 2 for x in xs)
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        slopes[axis] = cov / var if var > 0.0 else 0.0
+    return slopes
+
+
+def render_front(
+    rows: Sequence[Sequence[float]],
+    objectives: Sequence[Objective],
+    *,
+    x_axis: int = 0,
+    y_axis: int = 1,
+    width: int = 56,
+    height: int = 18,
+) -> str:
+    """ASCII scatter of a 2-D projection: front members ``#``, rest ``.``.
+
+    The remaining objectives are folded into the front membership (the
+    dominance test always uses all of them), so a ``#`` off the visual
+    hull is a candidate whose third objective earns its place.
+    """
+    if not rows:
+        return "(no evaluated candidates)"
+    front = set(pareto_front(rows, objectives))
+    xo, yo = objectives[x_axis], objectives[y_axis]
+    xs = [float(r[x_axis]) for r in rows]
+    ys = [float(r[y_axis]) for r in rows]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (x, y) in enumerate(zip(xs, ys)):
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        # Larger y at the top; '#' (front) always wins the cell.
+        row = height - 1 - row
+        mark = "#" if index in front else "."
+        if grid[row][col] != "#":
+            grid[row][col] = mark
+    lines = [
+        f"Pareto front: {xo.name} (x, {xo.sense}) vs {yo.name} (y, {yo.sense})",
+        f"y: {y_lo:.4g} .. {y_hi:.4g} {yo.unit}".rstrip(),
+    ]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f"x: {x_lo:.4g} .. {x_hi:.4g} {xo.unit}".rstrip())
+    lines.append(f"{len(front)} front member(s) '#' of {len(rows)} candidate(s)")
+    return "\n".join(lines)

@@ -62,6 +62,7 @@ FuncKey = Tuple[str, str]
 DEFAULT_EXCLUDE: Tuple[str, ...] = (
     "repro.checks",
     "repro.sweep",
+    "repro.dse",
     "repro.cli",
     "repro.__main__",
 )

@@ -13,6 +13,7 @@ writing a script::
     python -m repro sweep run --jobs 4      # parallel scenario sweep (docs/SWEEP.md)
     python -m repro serve --requests 100000 # multi-tenant scheduler (docs/SERVE.md)
     python -m repro faults --trials 100000  # Monte-Carlo campaign (docs/FAULTS.md)
+    python -m repro dse --smoke             # design-space exploration (docs/DSE.md)
 
 ``demo`` and ``transfers`` run the cheap system DRC before simulating
 (disable with ``--no-drc``); a configuration that fails design rules dies
@@ -26,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from .checks import cli as checks_cli
+from .dse import cli as dse_cli
 from .faults import cli as faults_cli
 from .serve import cli as serve_cli
 from .sweep import cli as sweep_cli
@@ -269,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults_cli.add_arguments(p_faults)
     p_faults.set_defaults(func=faults_cli.run)
+
+    p_dse = sub.add_parser(
+        "dse", help="design-space exploration with Pareto fronts (docs/DSE.md)"
+    )
+    dse_cli.add_arguments(p_dse)
+    p_dse.set_defaults(func=dse_cli.run)
 
     p_assess = sub.add_parser(
         "assess", help="lower-bound feasibility check for a hardware candidate"

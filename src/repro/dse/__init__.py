@@ -1,0 +1,43 @@
+"""Design-space exploration: the platform itself as the variable.
+
+The paper evaluates *one* platform (well, two: the 32- and 64-bit
+systems).  This package asks the follow-up question a platform architect
+actually faces: across bus clocks, bridge latencies, FIFO depths, DMA
+burst lengths, region geometries, scrub periods and verify-sampling
+densities, which configurations are worth building?  Three objectives —
+streaming throughput, reconfiguration overhead, upset recovery rate —
+scored by the pure probe scenarios of :mod:`repro.scenarios.dse`, every
+evaluation a cached, parallel sweep run, and the answer delivered as a
+Pareto front plus per-axis sensitivity slopes (``BENCH_dse.json``,
+schema ``repro-dse/1``).
+
+Layering: this package is orchestration (like :mod:`repro.sweep`) — it
+never touches simulated timing, it only decides *which* simulations run.
+"""
+
+from .evaluate import OBJECTIVES, PROJECTIONS, Evaluation, Evaluator
+from .evolve import SearchResult, evolve
+from .factorial import Design, format_point, full_factorial, star_design
+from .report import DSE_REPORT_FILENAME, DSE_SCHEMA, build_report, render_text, write_report
+from .space import Axis, PlatformSpace, default_space
+
+__all__ = [
+    "Axis",
+    "Design",
+    "DSE_REPORT_FILENAME",
+    "DSE_SCHEMA",
+    "Evaluation",
+    "Evaluator",
+    "OBJECTIVES",
+    "PROJECTIONS",
+    "PlatformSpace",
+    "SearchResult",
+    "build_report",
+    "default_space",
+    "evolve",
+    "format_point",
+    "full_factorial",
+    "render_text",
+    "star_design",
+    "write_report",
+]

@@ -1,0 +1,98 @@
+"""Factorial designs over a platform space.
+
+Two classic designs:
+
+* :func:`star_design` — the baseline plus every one-factor-at-a-time
+  variation (change one axis to each of its non-baseline levels, hold
+  the rest).  Linear in the number of levels, and exactly the sample a
+  per-axis regression slope wants.
+* :func:`full_factorial` — the cartesian product of selected axes (the
+  rest held at baseline), with an explicit ``max_points`` guard so a
+  9-axis product cannot be requested by accident.
+
+Both return only *legal* points (the space's DRC gate filters the rest)
+and report what was dropped, deduplicated, in stable deterministic
+order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import InvariantError
+from .space import PlatformSpace
+
+
+@dataclass
+class Design:
+    """A concrete list of legal points plus what legality rejected."""
+
+    points: List[Dict[str, int]]
+    rejected: List[Tuple[Dict[str, int], str]] = field(default_factory=list)
+
+    @property
+    def labels(self) -> List[str]:
+        return [format_point(point) for point in self.points]
+
+
+def format_point(point: Mapping[str, int]) -> str:
+    """Compact stable label, e.g. ``bus=100,fifo=2047``-style."""
+    return ",".join(f"{name}={point[name]}" for name in sorted(point))
+
+
+def _filtered(space: PlatformSpace, candidates: Sequence[Dict[str, int]]) -> Design:
+    design = Design(points=[])
+    seen = set()
+    for point in candidates:
+        key = space.canonical(point)
+        if key in seen:
+            continue
+        seen.add(key)
+        reason = space.violation(point)
+        if reason is None:
+            design.points.append(dict(point))
+        else:
+            design.rejected.append((dict(point), reason))
+    return design
+
+
+def star_design(space: PlatformSpace) -> Design:
+    """Baseline + one-factor-at-a-time sweeps of every axis."""
+    baseline = space.baseline()
+    candidates: List[Dict[str, int]] = [baseline]
+    for axis in space.axes:
+        for level in axis.levels:
+            if level == axis.baseline:
+                continue
+            candidates.append({**baseline, axis.name: level})
+    return _filtered(space, candidates)
+
+
+def full_factorial(
+    space: PlatformSpace,
+    axes: Optional[Sequence[str]] = None,
+    max_points: int = 512,
+) -> Design:
+    """Cartesian product over ``axes`` (others at baseline), capped.
+
+    Raises :class:`InvariantError` when the *requested* product exceeds
+    ``max_points`` — an explicit refusal, never a silent truncation.
+    """
+    selected = [space.axis(name) for name in axes] if axes is not None else list(space.axes)
+    total = 1
+    for axis in selected:
+        total *= len(axis.levels)
+    if total > max_points:
+        raise InvariantError(
+            f"full factorial over {[a.name for a in selected]} has {total} "
+            f"points, exceeding max_points={max_points}; select fewer axes "
+            f"or raise the cap explicitly"
+        )
+    baseline = space.baseline()
+    candidates = [
+        {**baseline, **dict(zip((a.name for a in selected), combo))}
+        for combo in itertools.product(*(a.levels for a in selected))
+    ]
+    return _filtered(space, candidates)

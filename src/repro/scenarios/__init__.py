@@ -23,7 +23,7 @@ from .registry import (
 from .result import ScenarioResult, snapshot_groups, system_stats
 
 # Importing the modules below populates the registry.
-from . import ablations, faults, figures, perf, serve, tables  # noqa: E402,F401  (registration side effect)
+from . import ablations, dse, faults, figures, perf, serve, tables  # noqa: E402,F401  (registration side effect)
 
 __all__ = [
     "Scenario",

@@ -74,6 +74,9 @@ class ServeReport:
         swap_mask = outcome.seg_decision == DECISION_RECONFIG
         swaps = int(np.count_nonzero(swap_mask))
         overhead_total = int(outcome.seg_overhead_ps.sum())
+        # A windowed replay (e.g. a duration that precedes the first
+        # arrival) legitimately admits zero requests; every per-request
+        # statistic is then defined as zero rather than a division crash.
         return cls(
             queue=outcome.config.queue,
             residency=outcome.config.residency,
@@ -83,14 +86,14 @@ class ServeReport:
             utilization=float(outcome.busy_ps / outcome.span_ps)
             if outcome.span_ps
             else 0.0,
-            p50_ps=quantile_ps(latency, 0.5),
-            p99_ps=quantile_ps(latency, 0.99),
-            p999_ps=quantile_ps(latency, 0.999),
-            mean_latency_ps=int(outcome.latency_ps.sum()) // requests,
-            max_latency_ps=int(latency[-1]),
-            deadline_miss_rate=misses / requests,
+            p50_ps=quantile_ps(latency, 0.5) if requests else 0,
+            p99_ps=quantile_ps(latency, 0.99) if requests else 0,
+            p999_ps=quantile_ps(latency, 0.999) if requests else 0,
+            mean_latency_ps=int(outcome.latency_ps.sum()) // requests if requests else 0,
+            max_latency_ps=int(latency[-1]) if requests else 0,
+            deadline_miss_rate=misses / requests if requests else 0.0,
             decision_counts=counts,
-            software_share=counts["software"] / requests,
+            software_share=counts["software"] / requests if requests else 0.0,
             reconfigs=swaps,
             reconfig_ps=overhead_total - defrag_ps,
             defrag_events=int(alloc.get("defrag_events", 0)),

@@ -15,7 +15,7 @@ from .results_io import (
     ensure_dir,
     write_text_result,
 )
-from .runner import ScenarioOutcome, SweepOutcome, apply_seed_base, run_sweep
+from .runner import ScenarioOutcome, SweepOutcome, apply_seed_base, run_batch, run_sweep
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -32,6 +32,7 @@ __all__ = [
     "default_results_dir",
     "ensure_dir",
     "render_report",
+    "run_batch",
     "run_sweep",
     "write_report",
     "write_text_result",

@@ -77,6 +77,9 @@ def parse_overrides(entries: Optional[List[str]]) -> Optional[dict]:
 
     Values parse as JSON first (``5000`` -> int, ``true`` -> bool,
     ``"seu,commit"`` needs no quoting — the fallback keeps it a string).
+    Repeating the same ``NAME:KEY`` with the *same* value is harmless;
+    repeating it with a conflicting value aborts — silently keeping the
+    last entry would make long command lines lie about what ran.
     """
     if not entries:
         return None
@@ -94,7 +97,13 @@ def parse_overrides(entries: Optional[List[str]]) -> Optional[dict]:
             parsed = json.loads(value)
         except ValueError:
             parsed = value
-        overrides.setdefault(name, {})[key] = parsed
+        per_scenario = overrides.setdefault(name, {})
+        if key in per_scenario and per_scenario[key] != parsed:
+            raise SystemExit(
+                f"--set expects one value per NAME:KEY, but {name}:{key} "
+                f"was given both {per_scenario[key]!r} and {parsed!r}"
+            )
+        per_scenario[key] = parsed
     return overrides
 
 

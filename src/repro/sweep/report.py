@@ -33,10 +33,13 @@ def build_report(
             "host_seconds": round(entry.host_seconds, 6),
             "compute_seconds": round(entry.compute_seconds, 6),
         }
+        if entry.job is not None and entry.job != entry.name:
+            record["job"] = entry.job
         if entry.retried_serially:
             record["retried_serially"] = True
         if entry.error is not None:
             record["error"] = entry.error
+            record["failed_seconds"] = round(entry.failed_seconds, 6)
         if entry.result is not None:
             record["title"] = entry.result.title
             record["headline"] = dict(entry.result.headline)
@@ -48,6 +51,7 @@ def build_report(
         name: group.snapshot() for name, group in sorted(outcome.merged_stats().items())
     }
     cold_seconds = sum(e.compute_seconds for e in outcome.outcomes)
+    failed_seconds = sum(e.failed_seconds for e in outcome.outcomes)
     report: Dict[str, object] = {
         "schema": REPORT_SCHEMA,
         "repro_version": __version__,
@@ -57,7 +61,10 @@ def build_report(
         "ok": outcome.ok,
         "host_seconds": round(outcome.host_seconds, 6),
         #: What the same set cost (or would cost) computed cold and serially.
+        #: Failed runs produced no result, so their time is excluded here
+        #: and reported under ``failed_seconds`` instead.
         "serial_compute_seconds": round(cold_seconds, 6),
+        "failed_seconds": round(failed_seconds, 6),
         "cache": {
             "enabled": outcome.cache_enabled,
             "dir": cache_dir,

@@ -117,12 +117,23 @@ class ScenarioOutcome:
     cache: str  # "hit" | "miss" | "refresh" | "off"
     #: Host seconds this run actually spent on the scenario (≈0 for hits).
     host_seconds: float
-    #: Host seconds the simulation cost when it was (re)computed.
+    #: Host seconds the simulation cost when it was (re)computed.  A
+    #: *failed* run produced no result, so it contributes 0.0 here — its
+    #: time is reported separately as :attr:`failed_seconds`.
     compute_seconds: float
     result: Optional[ScenarioResult] = None
     error: Optional[str] = None
     #: True when a broken pool forced an in-process serial retry.
     retried_serially: bool = False
+    #: Host seconds burned by a failed run (0.0 for successful runs).
+    failed_seconds: float = 0.0
+    #: Batch-evaluation label; distinguishes multiple parameterisations of
+    #: the same scenario inside one :func:`run_batch` (defaults to ``name``).
+    job: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.job if self.job is not None else self.name
 
 
 @dataclass
@@ -174,6 +185,158 @@ def _resolve(
     return jobs
 
 
+def run_batch(
+    items: Sequence[Tuple[Scenario, Mapping[str, object]]],
+    *,
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
+    smoke: bool = False,
+    seed_base: Optional[int] = None,
+    progress: Optional[Callable[[ScenarioOutcome], None]] = None,
+    rig_cache_dir: Optional[str] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> SweepOutcome:
+    """Run explicit ``(scenario, params)`` pairs with up to ``jobs`` workers.
+
+    The generic batch-evaluation entry point underneath :func:`run_sweep`:
+    unlike the sweep (which runs each registered scenario once, keyed by
+    name), a batch may evaluate the *same* scenario under many different
+    parameterisations — the shape the design-space explorer
+    (:mod:`repro.dse`) fans out, one evaluation per candidate platform.
+    Each pair consults the content-addressed result cache independently,
+    so revisited candidates (later search generations, reruns) cost a
+    cache lookup instead of a simulation.  ``labels`` (parallel to
+    ``items``) names each job in outcomes/progress; defaults to the
+    scenario name.
+    """
+    started = _now()
+    rig_fence = _rig_dependency_fence() if rig_cache_dir is not None else None
+    _install_rig_cache(rig_cache_dir, rig_fence)
+    if labels is None:
+        labels = [entry.name for entry, _ in items]
+    if len(labels) != len(items):
+        raise ValueError(f"{len(labels)} label(s) for {len(items)} item(s)")
+    work = [
+        (index, label, entry, dict(params))
+        for index, (label, (entry, params)) in enumerate(zip(labels, items))
+    ]
+    outcomes: Dict[int, ScenarioOutcome] = {}
+    pool_broken = False
+
+    # -- phase 1: cache lookups -------------------------------------------
+    pending: List[Tuple[int, str, Scenario, Dict[str, object]]] = []
+    for index, label, entry, params in work:
+        if cache is not None and not refresh:
+            t0 = _now()
+            found = cache.load(entry, params)
+            if found is not None:
+                result, cold_seconds = found
+                outcome = ScenarioOutcome(
+                    name=entry.name,
+                    tags=entry.tags,
+                    status="ok",
+                    cache="hit",
+                    host_seconds=_now() - t0,
+                    compute_seconds=cold_seconds,
+                    result=result,
+                    job=label,
+                )
+                outcomes[index] = outcome
+                if progress:
+                    progress(outcome)
+                continue
+        pending.append((index, label, entry, params))
+
+    # -- phase 2: execute misses ------------------------------------------
+    def finish(index: int, label: str, entry: Scenario, params,
+               payload: Dict[str, object], *, retried: bool) -> None:
+        cache_state = "off" if cache is None else ("refresh" if refresh else "miss")
+        if "error" in payload:
+            # A failed run produced nothing, so it must not count toward
+            # "what this batch would cost computed cold" — its host time
+            # is accounted separately in ``failed_seconds``.
+            outcome = ScenarioOutcome(
+                name=entry.name,
+                tags=entry.tags,
+                status="failed",
+                cache=cache_state,
+                host_seconds=float(payload.get("host_seconds", 0.0)),
+                compute_seconds=0.0,
+                error=str(payload["error"]),
+                retried_serially=retried,
+                failed_seconds=float(payload.get("host_seconds", 0.0)),
+                job=label,
+            )
+        else:
+            result = ScenarioResult.from_dict(payload["result"])
+            seconds = float(payload["host_seconds"])
+            if cache is not None:
+                cache.store(entry, params, result, seconds)
+            outcome = ScenarioOutcome(
+                name=entry.name,
+                tags=entry.tags,
+                status="ok",
+                cache=cache_state,
+                host_seconds=seconds,
+                compute_seconds=seconds,
+                result=result,
+                retried_serially=retried,
+                job=label,
+            )
+        outcomes[index] = outcome
+        if progress:
+            progress(outcome)
+
+    crashed: List[Tuple[int, str, Scenario, Dict[str, object]]] = []
+    if pending and jobs > 1:
+        # Fork keeps dynamically registered scenarios (tests) visible to
+        # workers; fall back to the platform default elsewhere.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = None
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_install_rig_cache,
+            initargs=(rig_cache_dir, rig_fence),
+        ) as pool:
+            futures = {
+                pool.submit(_execute_scenario, entry.name, params): (index, label, entry, params)
+                for index, label, entry, params in pending
+            }
+            for future, (index, label, entry, params) in futures.items():
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    crashed.append((index, label, entry, params))
+                    continue
+                finish(index, label, entry, params, payload, retried=False)
+    else:
+        for index, label, entry, params in pending:
+            finish(index, label, entry, params,
+                   _execute_scenario(entry.name, params), retried=False)
+
+    # -- phase 3: serial retry after a worker crash ------------------------
+    for index, label, entry, params in crashed:
+        finish(index, label, entry, params,
+               _execute_scenario(entry.name, params), retried=True)
+
+    ordered = [outcomes[index] for index, _, _, _ in work]
+    return SweepOutcome(
+        outcomes=ordered,
+        jobs=jobs,
+        host_seconds=_now() - started,
+        smoke=smoke,
+        seed_base=seed_base,
+        cache_enabled=cache is not None,
+        cache_stats=cache.telemetry.as_dict() if cache is not None else {},
+        pool_broken=pool_broken,
+    )
+
+
 def run_sweep(
     scenarios: Sequence[Scenario],
     *,
@@ -197,111 +360,14 @@ def run_sweep(
     ``--set NAME:KEY=VALUE``); overridden parameters feed the cache key
     like any other, so overridden runs never collide with defaults.
     """
-    started = _now()
-    rig_fence = _rig_dependency_fence() if rig_cache_dir is not None else None
-    _install_rig_cache(rig_cache_dir, rig_fence)
     work = _resolve(scenarios, smoke, seed_base, overrides)
-    outcomes: Dict[str, ScenarioOutcome] = {}
-    pool_broken = False
-
-    # -- phase 1: cache lookups -------------------------------------------
-    pending: List[Tuple[Scenario, Dict[str, object]]] = []
-    for entry, params in work:
-        if cache is not None and not refresh:
-            t0 = _now()
-            found = cache.load(entry, params)
-            if found is not None:
-                result, cold_seconds = found
-                outcome = ScenarioOutcome(
-                    name=entry.name,
-                    tags=entry.tags,
-                    status="ok",
-                    cache="hit",
-                    host_seconds=_now() - t0,
-                    compute_seconds=cold_seconds,
-                    result=result,
-                )
-                outcomes[entry.name] = outcome
-                if progress:
-                    progress(outcome)
-                continue
-        pending.append((entry, params))
-
-    # -- phase 2: execute misses ------------------------------------------
-    def finish(entry: Scenario, params, payload: Dict[str, object], *, retried: bool) -> None:
-        cache_state = "off" if cache is None else ("refresh" if refresh else "miss")
-        if "error" in payload:
-            outcome = ScenarioOutcome(
-                name=entry.name,
-                tags=entry.tags,
-                status="failed",
-                cache=cache_state,
-                host_seconds=float(payload.get("host_seconds", 0.0)),
-                compute_seconds=float(payload.get("host_seconds", 0.0)),
-                error=str(payload["error"]),
-                retried_serially=retried,
-            )
-        else:
-            result = ScenarioResult.from_dict(payload["result"])
-            seconds = float(payload["host_seconds"])
-            if cache is not None:
-                cache.store(entry, params, result, seconds)
-            outcome = ScenarioOutcome(
-                name=entry.name,
-                tags=entry.tags,
-                status="ok",
-                cache=cache_state,
-                host_seconds=seconds,
-                compute_seconds=seconds,
-                result=result,
-                retried_serially=retried,
-            )
-        outcomes[entry.name] = outcome
-        if progress:
-            progress(outcome)
-
-    crashed: List[Tuple[Scenario, Dict[str, object]]] = []
-    if pending and jobs > 1:
-        # Fork keeps dynamically registered scenarios (tests) visible to
-        # workers; fall back to the platform default elsewhere.
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = None
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            mp_context=context,
-            initializer=_install_rig_cache,
-            initargs=(rig_cache_dir, rig_fence),
-        ) as pool:
-            futures = {
-                pool.submit(_execute_scenario, entry.name, params): (entry, params)
-                for entry, params in pending
-            }
-            for future, (entry, params) in futures.items():
-                try:
-                    payload = future.result()
-                except BrokenProcessPool:
-                    pool_broken = True
-                    crashed.append((entry, params))
-                    continue
-                finish(entry, params, payload, retried=False)
-    else:
-        for entry, params in pending:
-            finish(entry, params, _execute_scenario(entry.name, params), retried=False)
-
-    # -- phase 3: serial retry after a worker crash ------------------------
-    for entry, params in crashed:
-        finish(entry, params, _execute_scenario(entry.name, params), retried=True)
-
-    ordered = [outcomes[entry.name] for entry, _ in work]
-    return SweepOutcome(
-        outcomes=ordered,
+    return run_batch(
+        work,
         jobs=jobs,
-        host_seconds=_now() - started,
+        cache=cache,
+        refresh=refresh,
         smoke=smoke,
         seed_base=seed_base,
-        cache_enabled=cache is not None,
-        cache_stats=cache.telemetry.as_dict() if cache is not None else {},
-        pool_broken=pool_broken,
+        progress=progress,
+        rig_cache_dir=rig_cache_dir,
     )

@@ -1,0 +1,127 @@
+"""Pareto machinery: dominance, fast sort, crowding, slopes, rendering."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    MAXIMIZE,
+    MINIMIZE,
+    Objective,
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+    pareto_front,
+    pareto_rank,
+    regression_slopes,
+    render_front,
+)
+from repro.errors import InvariantError
+
+MAXMAX = (Objective("a"), Objective("b"))
+MAXMIN = (Objective("a"), Objective("b", MINIMIZE))
+
+
+# -- dominance ----------------------------------------------------------------
+
+def test_dominates_requires_strict_improvement_somewhere():
+    assert dominates([2, 2], [1, 2], MAXMAX)
+    assert not dominates([2, 2], [2, 2], MAXMAX)
+    assert not dominates([2, 1], [1, 2], MAXMAX)  # trade-off: incomparable
+
+
+def test_minimized_objectives_flip_orientation():
+    # b is minimized: (5, 1) beats (5, 3).
+    assert dominates([5, 1], [5, 3], MAXMIN)
+    assert not dominates([5, 3], [5, 1], MAXMIN)
+
+
+def test_bad_sense_rejected():
+    with pytest.raises(InvariantError, match="sense"):
+        Objective("x", "maximize")
+
+
+def test_row_arity_mismatch_rejected():
+    with pytest.raises(InvariantError, match="objective value"):
+        dominates([1], [1, 2], MAXMAX)
+
+
+# -- non-dominated sort --------------------------------------------------------
+
+def test_sort_partitions_into_ranked_fronts():
+    rows = [[3, 3], [1, 1], [2, 2], [3, 1], [1, 3]]
+    fronts = non_dominated_sort(rows, MAXMAX)
+    assert fronts[0] == [0]          # (3,3) dominates everything
+    assert fronts[1] == [2, 3, 4]    # mutually incomparable second shell
+    assert fronts[2] == [1]
+    assert sorted(i for front in fronts for i in front) == list(range(5))
+
+
+def test_front_of_pure_tradeoff_is_everything():
+    rows = [[1, 4], [2, 3], [3, 2], [4, 1]]
+    assert pareto_front(rows, MAXMAX) == [0, 1, 2, 3]
+
+
+def test_front_is_empty_for_no_candidates():
+    assert pareto_front([], MAXMAX) == []
+
+
+def test_duplicate_points_share_a_front():
+    rows = [[2, 2], [2, 2], [1, 1]]
+    assert pareto_front(rows, MAXMAX) == [0, 1]
+
+
+# -- crowding distance ---------------------------------------------------------
+
+def test_boundary_candidates_get_infinite_distance():
+    rows = [[1, 4], [2, 3], [3, 2], [4, 1]]
+    dist = crowding_distance(rows, [0, 1, 2, 3], MAXMAX)
+    assert dist[0] == float("inf") and dist[3] == float("inf")
+    assert 0 < dist[1] < float("inf")
+    assert dist[1] == pytest.approx(dist[2])  # symmetric spacing
+
+
+def test_tiny_fronts_are_all_boundary():
+    assert crowding_distance([[1, 1], [2, 2]], [0, 1], MAXMAX) == {
+        0: float("inf"),
+        1: float("inf"),
+    }
+
+
+def test_rank_and_crowd_align_with_fronts():
+    rows = [[3, 3], [1, 1], [2, 2]]
+    ranks, crowd = pareto_rank(rows, MAXMAX)
+    assert ranks == [0, 2, 1]
+    assert len(crowd) == 3
+
+
+# -- regression slopes ---------------------------------------------------------
+
+def test_slopes_recover_a_linear_effect():
+    points = [{"x": 0, "y": 5}, {"x": 1, "y": 5}, {"x": 2, "y": 5}]
+    values = [0.0, 10.0, 20.0]
+    slopes = regression_slopes(points, values)
+    # x normalized to [0,1] over 0..2 -> slope 20 across the full range.
+    assert slopes["x"] == pytest.approx(20.0)
+    assert slopes["y"] == 0.0  # never varies
+
+
+def test_slopes_length_mismatch_rejected():
+    with pytest.raises(InvariantError):
+        regression_slopes([{"x": 1}], [1.0, 2.0])
+
+
+def test_slopes_of_empty_input_is_empty():
+    assert regression_slopes([], []) == {}
+
+
+# -- rendering -----------------------------------------------------------------
+
+def test_render_front_marks_members_and_axes():
+    rows = [[1, 4], [2, 3], [4, 1], [1, 1]]
+    text = render_front(rows, MAXMAX, width=20, height=8)
+    assert "#" in text and "." in text
+    assert "3 front member(s) '#' of 4 candidate(s)" in text
+    assert "a (x, max)" in text and "b (y, max)" in text
+
+
+def test_render_front_empty_is_graceful():
+    assert "no evaluated candidates" in render_front([], MAXMAX)

@@ -173,3 +173,43 @@ def test_size_class_out_of_table_range_rejected():
     trace = make_trace("poisson", 100, 1_000_000, seed=1, size_classes=9)
     with pytest.raises(ServeError):
         simulate(trace, TABLE, ServeConfig())
+
+
+# -- zero-request outcomes ----------------------------------------------------
+
+def test_report_from_zero_request_outcome_is_well_defined():
+    """A windowed replay whose window precedes the first arrival admits
+    zero requests; every per-request statistic must then be zero, not a
+    ZeroDivisionError / empty-quantile crash."""
+    from repro.serve.engine import ServeOutcome
+
+    empty64 = np.zeros(0, dtype=np.int64)
+    outcome = ServeOutcome(
+        config=ServeConfig(),
+        requests=0,
+        decisions=np.zeros(0, dtype=np.uint8),
+        finish_ps=empty64,
+        latency_ps=empty64,
+        service_order=empty64,
+        busy_ps=0,
+        span_ps=0,
+        seg_kernel=empty64,
+        seg_len=empty64,
+        seg_decision=np.zeros(0, dtype=np.uint8),
+        seg_overhead_ps=empty64,
+    )
+    report = ServeReport.from_outcome(outcome)
+    assert report.requests == 0
+    assert (report.p50_ps, report.p99_ps, report.p999_ps) == (0, 0, 0)
+    assert report.mean_latency_ps == 0
+    assert report.max_latency_ps == 0
+    assert report.deadline_miss_rate == 0.0
+    assert report.software_share == 0.0
+    assert report.utilization == 0.0
+    assert report.throughput_rps == 0.0
+    assert report.amortization_curve == []
+    assert report.decision_counts == {"resident": 0, "reconfig": 0, "software": 0}
+    # The dict form stays JSON-serializable (no NaN/inf sneaking in).
+    import json
+
+    json.dumps(report.to_dict())

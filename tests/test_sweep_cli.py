@@ -156,6 +156,22 @@ def test_parse_overrides_rejects_malformed_entries(bad):
         parse_overrides([bad])
 
 
+def test_parse_overrides_conflicting_duplicate_aborts_naming_both():
+    from repro.sweep.cli import parse_overrides
+
+    # Silent last-wins would make the command line lie about what ran;
+    # the error must name both conflicting values.
+    with pytest.raises(SystemExit, match=r"5000.*9999|9999.*5000"):
+        parse_overrides(["mc_campaign:trials=5000", "mc_campaign:trials=9999"])
+
+
+def test_parse_overrides_identical_duplicate_is_benign():
+    from repro.sweep.cli import parse_overrides
+
+    parsed = parse_overrides(["mc_campaign:trials=5000", "mc_campaign:trials=5000"])
+    assert parsed == {"mc_campaign": {"trials": 5000}}
+
+
 def test_set_flag_overrides_scenario_params(tmp_path, capsys):
     from repro.scenarios import ScenarioResult
     from repro.scenarios.registry import _REGISTRY, register_scenario

@@ -103,6 +103,39 @@ def test_failed_scenario_does_not_sink_the_sweep(scratch):
     assert [f.name for f in outcome.failures] == ["scratch_boom"]
 
 
+def test_failed_run_reports_no_compute_seconds(scratch):
+    """A failed run produced no result: its host time must land in
+    ``failed_seconds``, not pollute the serial-compute aggregate the
+    report derives speedup claims from."""
+    import time
+
+    def slow_boom():
+        time.sleep(0.05)  # repro: noqa LINT001 (host-side test fixture)
+        raise ValueError("deliberate failure")
+
+    scratch("scratch_slow_boom", slow_boom)
+    outcome = run_sweep(
+        [get_scenario("scratch_slow_boom"), get_scenario(CHEAP[0])], jobs=1, cache=None
+    )
+    failed, healthy = outcome.outcomes
+    assert failed.status == "failed"
+    assert failed.compute_seconds == 0.0
+    assert failed.failed_seconds >= 0.05
+    assert healthy.failed_seconds == 0.0
+    assert healthy.compute_seconds > 0.0
+
+    from repro.sweep import build_report
+
+    report = build_report(outcome)
+    assert report["serial_compute_seconds"] == pytest.approx(
+        healthy.compute_seconds, abs=1e-6
+    )
+    assert report["failed_seconds"] >= 0.05
+    record = next(s for s in report["scenarios"] if s["name"] == "scratch_slow_boom")
+    assert record["compute_seconds"] == 0.0
+    assert record["failed_seconds"] >= 0.05
+
+
 def test_worker_crash_triggers_serial_retry(scratch):
     parent = os.getpid()
 
